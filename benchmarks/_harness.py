@@ -1,0 +1,66 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*.py`` regenerates one paper artifact (table or figure)
+through the experiment registry, reports its wall time via
+pytest-benchmark, prints the paper-shaped rows/series, and writes them to
+``benchmarks/results/<id>.md`` so EXPERIMENTS.md can be assembled from a
+single run.
+
+Experiments are expensive and deterministic, so each benchmark executes
+exactly once (``pedantic`` with one round) — the timing numbers measure
+the cost of regenerating the artifact, not statistical micro-variance.
+
+Environment knobs: ``REPRO_MACHINE`` (scaled/paper) and
+``REPRO_BENCH_REFS`` (references per core; default 80000).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments import default_config, run_experiment
+from repro.sim.report import ExperimentResult
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(result: ExperimentResult) -> Path:
+    """Persist one regenerated artifact as markdown."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{result.experiment_id}.md"
+    body = [
+        f"# {result.experiment_id}: {result.title}",
+        "",
+        "```",
+        result.table,
+        "```",
+        "",
+    ]
+    if result.notes:
+        body += [result.notes, ""]
+    cfg = default_config()
+    body += [
+        f"_machine: {cfg.machine.name}, refs/core: {cfg.refs_per_core}, "
+        f"policy: {cfg.policy.value}, seed: {cfg.seed}_",
+        "",
+    ]
+    path.write_text("\n".join(body))
+    return path
+
+
+def regen(benchmark, experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment exactly once under the benchmark timer."""
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id,),
+        kwargs={"config": default_config(), **kwargs},
+        rounds=1,
+        iterations=1,
+    )
+    write_result(result)
+    print()
+    print(f"== {result.experiment_id}: {result.title} ==")
+    print(result.table)
+    if result.notes:
+        print(result.notes)
+    return result

@@ -1,0 +1,20 @@
+"""Ablations of the §III design decisions (DESIGN.md's ablation index):
+hash function, entry width, recalibration banking, replacement policy and
+fill-energy accounting."""
+
+import pytest
+
+from _harness import regen
+
+ABLATIONS = [
+    "ablation-hash",
+    "ablation-entry-width",
+    "ablation-banking",
+    "ablation-replacement",
+    "ablation-fill-accounting",
+]
+
+
+@pytest.mark.parametrize("experiment_id", ABLATIONS)
+def test_ablation(benchmark, experiment_id):
+    regen(benchmark, experiment_id)

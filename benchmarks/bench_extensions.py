@@ -1,0 +1,24 @@
+"""Extension experiments beyond the paper's evaluation: the §IV utility
+gate, the MissMap comparison at equal area, and core-count scaling."""
+
+import pytest
+
+from _harness import regen
+
+EXTENSIONS = [
+    "ext-gating",
+    "ext-missmap",
+    "ext-cores",
+    "ext-depth",
+    "ext-sharing",
+    "ext-reuse",
+    "ext-timing",
+    "ext-relwork",
+    "ext-nine",
+    "ext-adaptive-recal",
+]
+
+
+@pytest.mark.parametrize("experiment_id", EXTENSIONS)
+def test_extension(benchmark, experiment_id):
+    regen(benchmark, experiment_id)

@@ -1,0 +1,7 @@
+"""Figure 1 (cache-size history) — regenerated through the experiment registry."""
+
+from _harness import regen
+
+
+def test_fig1(benchmark):
+    regen(benchmark, "fig1")

@@ -1,0 +1,7 @@
+"""Figure 6 (speedup of Oracle/CBF/Phased/ReDHiP) — regenerated through the experiment registry."""
+
+from _harness import regen
+
+
+def test_fig6(benchmark):
+    regen(benchmark, "fig6")

@@ -1,0 +1,7 @@
+"""Figure 7 (normalized dynamic energy) — regenerated through the experiment registry."""
+
+from _harness import regen
+
+
+def test_fig7(benchmark):
+    regen(benchmark, "fig7")

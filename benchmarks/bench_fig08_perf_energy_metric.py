@@ -1,0 +1,7 @@
+"""Figure 8 (performance-energy metric) — regenerated through the experiment registry."""
+
+from _harness import regen
+
+
+def test_fig8(benchmark):
+    regen(benchmark, "fig8")

@@ -1,0 +1,7 @@
+"""Figure 9 (per-level hit rates, base) — regenerated through the experiment registry."""
+
+from _harness import regen
+
+
+def test_fig9(benchmark):
+    regen(benchmark, "fig9")

@@ -1,0 +1,12 @@
+"""Figure 10 (per-level hit rates under ReDHiP) plus the paper's quoted
+hit-rate improvement deltas — regenerated through the experiment registry."""
+
+from _harness import regen
+
+
+def test_fig10(benchmark):
+    regen(benchmark, "fig10")
+
+
+def test_fig10_delta(benchmark):
+    regen(benchmark, "fig10-delta")

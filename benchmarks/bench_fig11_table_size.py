@@ -1,0 +1,7 @@
+"""Figure 11 (prediction-table size sweep) — regenerated through the experiment registry."""
+
+from _harness import regen
+
+
+def test_fig11(benchmark):
+    regen(benchmark, "fig11")

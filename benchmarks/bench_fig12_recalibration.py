@@ -1,0 +1,7 @@
+"""Figure 12 (recalibration-period sweep) — regenerated through the experiment registry."""
+
+from _harness import regen
+
+
+def test_fig12(benchmark):
+    regen(benchmark, "fig12")

@@ -1,0 +1,7 @@
+"""Figure 13 (inclusion policies) — regenerated through the experiment registry."""
+
+from _harness import regen
+
+
+def test_fig13(benchmark):
+    regen(benchmark, "fig13")

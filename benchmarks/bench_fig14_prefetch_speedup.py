@@ -1,0 +1,13 @@
+"""Figures 14 and 15 (stride prefetching vs ReDHiP vs both) — the speedup
+and dynamic-energy comparison of §V-C.
+
+Prefetching changes cache contents, so these are integrated-simulator runs
+(the most expensive benches in the suite); both figures come from the same
+four runs per workload and are regenerated together.
+"""
+
+from _harness import regen
+
+
+def test_fig14_15(benchmark):
+    regen(benchmark, "fig14-15")

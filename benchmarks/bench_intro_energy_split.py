@@ -1,0 +1,7 @@
+"""Intro claim (L3+L4 share of dynamic energy) — regenerated through the experiment registry."""
+
+from _harness import regen
+
+
+def test_intro(benchmark):
+    regen(benchmark, "intro")

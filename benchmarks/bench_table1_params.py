@@ -1,0 +1,7 @@
+"""Table I (architecture parameters + CACTI cross-check) — regenerated through the experiment registry."""
+
+from _harness import regen
+
+
+def test_table1(benchmark):
+    regen(benchmark, "table1")

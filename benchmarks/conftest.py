@@ -1,0 +1,24 @@
+"""Benchmark-session setup: parallel prewarm of the content-stream cache.
+
+The figure benches share one memoized runner (see
+``repro.experiments.context``); warming its stream cache with a process
+pool before the first bench turns the content walks — the wall-clock bulk
+of the suite — into a parallel phase.  Disable with ``REPRO_PARALLEL=1``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.context import default_config, get_runner
+from repro.sim.parallel import default_workers, prewarm_streams
+from repro.workloads import PAPER_WORKLOADS
+
+
+@pytest.fixture(scope="session", autouse=True)
+def prewarm_content_streams():
+    workers = default_workers()
+    if workers > 1:
+        runner = get_runner(default_config())
+        prewarm_streams(runner, PAPER_WORKLOADS, workers=workers)
+    yield

@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Extending the framework: plug in your own presence predictor.
+
+The evaluation machinery accepts any
+:class:`repro.predictors.base.PresencePredictor`; this example implements
+two from scratch and races them against ReDHiP:
+
+``CoarsePredictor``
+    A region-granular bitmap: one bit covers four consecutive blocks, so
+    the same SRAM spans 4x the address space — higher reach, higher
+    false-positive rate, and no cheap per-set recalibration (bits are
+    never cleared).  A classic granularity trade-off.
+
+``PerfectCountPredictor``
+    An idealized unbounded exact tracker (a Python set with full-width
+    block numbers) — what you could do with unlimited area; useful to see
+    how much of the Oracle gap is aliasing vs staleness.
+
+Both are conservative (no false negatives) — the evaluator enforces this
+with a hard error, so a buggy predictor fails loudly rather than producing
+flattering numbers.  (Try making ``CoarsePredictor`` clear bits on
+eviction: the framework will catch the resulting false negatives
+immediately.)
+
+Run:  python examples/custom_predictor.py [workload] [refs_per_core]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import (
+    ExperimentRunner,
+    SchemeSpec,
+    SimConfig,
+    base_scheme,
+    get_machine,
+    oracle_scheme,
+    redhip_scheme,
+)
+from repro.predictors.base import PresencePredictor
+
+
+class CoarsePredictor(PresencePredictor):
+    """Region-granular bitmap: one bit per 4-block group, same area."""
+
+    name = "Coarse4x"
+    GRANULE_BITS = 2  # 4 blocks per bit
+
+    def __init__(self, machine):
+        bits = machine.prediction_table.size * 8
+        self.mask = bits - 1
+        self.bitmap = np.zeros(bits, dtype=bool)
+        self.table_updates = 0
+
+    def _index(self, block):
+        return (block >> self.GRANULE_BITS) & self.mask
+
+    def predict_present(self, block):
+        return bool(self.bitmap[self._index(block)])
+
+    def on_llc_fill(self, block):
+        self.bitmap[self._index(block)] = True
+        self.table_updates += 1
+
+    def on_llc_evict(self, block):
+        # Clearing here would be WRONG: siblings in the 4-block group may
+        # still be resident.  Conservative bits stay set.
+        pass
+
+
+class PerfectCountPredictor(PresencePredictor):
+    """Unbounded exact presence — no aliasing, no staleness."""
+
+    name = "ExactDict"
+
+    def __init__(self):
+        self.resident = set()
+        self.table_updates = 0
+
+    def predict_present(self, block):
+        return block in self.resident
+
+    def on_llc_fill(self, block):
+        self.resident.add(block)
+        self.table_updates += 1
+
+    def on_llc_evict(self, block):
+        self.resident.discard(block)
+        self.table_updates += 1
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "soplex"
+    refs = int(sys.argv[2]) if len(sys.argv) > 2 else 30_000
+    config = SimConfig(machine=get_machine("scaled"), refs_per_core=refs)
+    runner = ExperimentRunner(config)
+    period = config.recal_period
+
+    schemes = [
+        base_scheme(),
+        redhip_scheme(recal_period=period),
+        SchemeSpec(name="Coarse4x", kind="predictor",
+                   make_predictor=lambda m: CoarsePredictor(m)),
+        SchemeSpec(name="ExactDict", kind="predictor",
+                   make_predictor=lambda m: PerfectCountPredictor()),
+        oracle_scheme(),
+    ]
+    base = runner.run(workload, schemes[0])
+    print(f"workload: {workload}  ({refs} refs/core)\n")
+    print(f"{'predictor':12s} {'speedup':>9s} {'dyn energy':>11s} {'skip cov':>9s}")
+    for scheme in schemes[1:]:
+        res = runner.run(workload, scheme)
+        print(f"{scheme.name:12s} {res.speedup_over(base) - 1:+9.1%} "
+              f"{res.dynamic_ratio(base):11.1%} {res.skip_coverage:9.1%}")
+    print("\nExactDict ~ Oracle modulo lookup overhead: the residual gap to "
+          "Oracle is pure table cost; ReDHiP's gap to ExactDict is aliasing "
+          "+ staleness — the trade §III accepts for 1-bit entries.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: run ReDHiP against the baseline on one benchmark.
+
+This is the 60-second tour of the public API:
+
+1. pick a machine (the paper's Table I configuration, or the scaled
+   default that runs in seconds),
+2. build a workload (one of the paper's eleven, by name),
+3. run the base case and ReDHiP over the same content trajectory,
+4. compare speedup, dynamic energy, and the predictor's skip coverage.
+
+Run:  python examples/quickstart.py [workload] [refs_per_core]
+"""
+
+import sys
+
+from repro import (
+    ExperimentRunner,
+    SimConfig,
+    base_scheme,
+    get_machine,
+    oracle_scheme,
+    redhip_scheme,
+)
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "mcf"
+    refs = int(sys.argv[2]) if len(sys.argv) > 2 else 40_000
+
+    machine = get_machine("scaled")
+    config = SimConfig(machine=machine, refs_per_core=refs)
+    runner = ExperimentRunner(config)
+
+    print(f"machine: {machine.name} — {machine.cores} cores, "
+          f"LLC {machine.llc.size >> 20} MB, "
+          f"prediction table {machine.prediction_table.size >> 10} KB "
+          f"({machine.pt_overhead_ratio:.2%} of LLC, p-k={machine.p_minus_k})")
+    print(f"workload: {workload}, {refs} refs/core\n")
+
+    base = runner.run(workload, base_scheme())
+    redhip = runner.run(workload, redhip_scheme(recal_period=config.recal_period))
+    oracle = runner.run(workload, oracle_scheme())
+
+    stream = runner.stream(workload)
+    rates = stream.base_hit_rates()
+    print("base-case hit rates: "
+          + "  ".join(f"L{l}={r:.1%}" for l, r in rates.items()))
+    print(f"accesses served by memory: {base.true_misses / stream.num_accesses:.1%}\n")
+
+    print(f"{'scheme':10s} {'speedup':>9s} {'dyn energy':>11s} {'total energy':>13s} {'skip cov':>9s}")
+    for res in (base, redhip, oracle):
+        print(f"{res.scheme:10s} {res.speedup_over(base) - 1:+9.1%} "
+              f"{res.dynamic_ratio(base):11.1%} {res.total_ratio(base):13.1%} "
+              f"{res.skip_coverage:9.1%}")
+
+    pt_share = redhip.ledger.component_nj("PT") / redhip.dynamic_nj
+    print(f"\nReDHiP prediction+recalibration overhead: {pt_share:.2%} of its "
+          f"dynamic energy ({redhip.predictor_stats['recal_sweeps']:.0f} sweeps)")
+
+
+if __name__ == "__main__":
+    main()

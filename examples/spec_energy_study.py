@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Energy study across the SPEC subset: where does the energy go, and what
+does each scheme recover?
+
+Reproduces the reasoning of the paper's introduction and §V-A on your
+machine of choice:
+
+* the base-case dynamic-energy breakdown per structure (showing the
+  L3+L4 dominance that motivates the whole design),
+* the normalized dynamic/total energy of CBF, Phased Cache and ReDHiP,
+* the performance-energy metric that crowns the winner.
+
+Run:  python examples/spec_energy_study.py [machine] [refs_per_core]
+      (machine: "scaled" [default] or "paper")
+"""
+
+import sys
+
+from repro import (
+    ExperimentRunner,
+    SimConfig,
+    base_scheme,
+    cbf_scheme,
+    get_machine,
+    phased_scheme,
+    redhip_scheme,
+)
+from repro.sim.report import add_average, format_table
+from repro.workloads import SPEC_NAMES
+
+
+def main() -> None:
+    machine = get_machine(sys.argv[1] if len(sys.argv) > 1 else "scaled")
+    refs = int(sys.argv[2]) if len(sys.argv) > 2 else 30_000
+    config = SimConfig(machine=machine, refs_per_core=refs)
+    runner = ExperimentRunner(config)
+    schemes = [
+        base_scheme(),
+        cbf_scheme(),
+        phased_scheme(),
+        redhip_scheme(recal_period=config.recal_period),
+    ]
+
+    # --- where the base case spends dynamic energy -------------------------
+    breakdown_series = {}
+    for name in SPEC_NAMES:
+        res = runner.run(name, schemes[0])
+        b = res.ledger.breakdown()
+        total = sum(b.values())
+        breakdown_series[name] = {k: v / total for k, v in sorted(b.items())}
+    breakdown_series = add_average(breakdown_series)
+    print("Base-case dynamic-energy share by structure:")
+    print(format_table(breakdown_series, ["L1", "L2", "L3", "L4"],
+                       value_format="{:.1%}"))
+    low = breakdown_series["average"]["L3"] + breakdown_series["average"]["L4"]
+    print(f"\nL3+L4 share: {low:.1%}  (paper's motivation: ~80%)\n")
+
+    # --- scheme comparison ---------------------------------------------------
+    perf, dyn, metric = {}, {}, {}
+    for name in SPEC_NAMES:
+        base = runner.run(name, schemes[0])
+        perf[name], dyn[name], metric[name] = {}, {}, {}
+        for scheme in schemes[1:]:
+            res = runner.run(name, scheme)
+            perf[name][scheme.name] = res.speedup_over(base) - 1.0
+            dyn[name][scheme.name] = res.dynamic_ratio(base)
+            metric[name][scheme.name] = res.perf_energy_metric(base)
+
+    cols = [s.name for s in schemes[1:]]
+    print("Speedup over base:")
+    print(format_table(add_average(perf), cols))
+    print("\nDynamic energy (normalized to base):")
+    print(format_table(add_average(dyn), cols, value_format="{:.1%}"))
+    print("\nPerformance-energy metric (higher is better, base = 1.0):")
+    print(format_table(add_average(metric), cols, value_format="{:.3f}"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Thin setup.py shim.
+
+All metadata lives in pyproject.toml; this file exists so the package can
+be installed editable on environments without the ``wheel`` package
+(``pip install -e . --no-build-isolation --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,95 @@
+"""Multi-seed statistical runs: confidence intervals for headline numbers.
+
+Synthetic workloads are stochastic; a single seed gives a single draw.
+This module repeats a (workload, scheme-vs-base) comparison across seeds
+and reports mean, standard deviation and a normal-approximation 95 %
+confidence interval for the speedup and normalized-energy metrics —
+the error bars the paper does not print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.predictors.base import SchemeSpec, base_scheme
+from repro.sim.config import SimConfig
+from repro.sim.runner import ExperimentRunner
+from repro.util.validation import check_positive
+
+__all__ = ["MetricEstimate", "MultiSeedResult", "run_multi_seed"]
+
+#: z value for a two-sided 95% interval.
+Z95 = 1.96
+
+
+@dataclass(frozen=True)
+class MetricEstimate:
+    """Mean / spread / CI of one scalar metric across seeds."""
+
+    name: str
+    samples: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.samples))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.samples, ddof=1)) if len(self.samples) > 1 else 0.0
+
+    @property
+    def ci95(self) -> float:
+        """Half-width of the 95% CI on the mean."""
+        n = len(self.samples)
+        return Z95 * self.std / np.sqrt(n) if n > 1 else 0.0
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.mean:+.3f} ± {self.ci95:.3f} (n={len(self.samples)})"
+
+
+@dataclass(frozen=True)
+class MultiSeedResult:
+    """All metric estimates of one multi-seed comparison."""
+
+    workload: str
+    scheme: str
+    speedup: MetricEstimate
+    dynamic_ratio: MetricEstimate
+    total_ratio: MetricEstimate
+    skip_coverage: MetricEstimate
+
+    def as_rows(self) -> dict[str, dict[str, float]]:
+        out = {}
+        for est in (self.speedup, self.dynamic_ratio, self.total_ratio,
+                    self.skip_coverage):
+            out[est.name] = {"mean": est.mean, "std": est.std, "ci95": est.ci95}
+        return out
+
+
+def run_multi_seed(
+    config: SimConfig,
+    workload_name: str,
+    scheme: SchemeSpec,
+    seeds: tuple[int, ...] = (1, 2, 3, 4, 5),
+) -> MultiSeedResult:
+    """Repeat (scheme vs base) on ``workload_name`` across seeds."""
+    check_positive("seed count", len(seeds))
+    speedups, dyn, tot, cov = [], [], [], []
+    for seed in seeds:
+        runner = ExperimentRunner(replace(config, seed=seed))
+        base = runner.run(workload_name, base_scheme())
+        res = runner.run(workload_name, scheme)
+        speedups.append(res.speedup_over(base) - 1.0)
+        dyn.append(res.dynamic_ratio(base))
+        tot.append(res.total_ratio(base))
+        cov.append(res.skip_coverage)
+    return MultiSeedResult(
+        workload=workload_name,
+        scheme=scheme.name,
+        speedup=MetricEstimate("speedup", tuple(speedups)),
+        dynamic_ratio=MetricEstimate("dynamic_ratio", tuple(dyn)),
+        total_ratio=MetricEstimate("total_ratio", tuple(tot)),
+        skip_coverage=MetricEstimate("skip_coverage", tuple(cov)),
+    )

@@ -1,0 +1,189 @@
+"""Command-line interface: regenerate paper artifacts from a shell.
+
+Examples::
+
+    python -m repro list
+    python -m repro machines
+    python -m repro run fig6
+    python -m repro run fig7 --machine paper --refs 20000 --workloads mcf,lbm
+    python -m repro run-all --out results/
+    python -m repro workload mcf --refs 10000 --save mcf.npz
+
+``run`` prints the same rows/series the paper's figure shows; ``--out``
+additionally writes a markdown file per artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.energy.params import MACHINES, get_machine
+from repro.experiments import clear_cache, experiment_ids, run_experiment
+from repro.sim.config import SimConfig
+from repro.sim.report import ExperimentResult
+from repro.util.validation import ReproError
+from repro.workloads import PAPER_WORKLOADS, get_workload
+from repro.workloads.tracefile import save_workload
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ReDHiP reproduction: regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible artifact ids")
+    sub.add_parser("machines", help="list machine configurations")
+
+    def add_run_options(p):
+        p.add_argument("--machine", default="scaled", choices=sorted(MACHINES),
+                       help="machine configuration (default: scaled)")
+        p.add_argument("--refs", type=int, default=80_000,
+                       help="references per core (default: 80000)")
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--workloads", default=None,
+                       help="comma-separated subset of the paper's workloads")
+        p.add_argument("--out", type=Path, default=None,
+                       help="directory to write <id>.md result files")
+        p.add_argument("--chart", action="store_true",
+                       help="render the average row as a bar chart")
+
+    run = sub.add_parser("run", help="regenerate one artifact")
+    run.add_argument("experiment", help="artifact id (see `repro list`)")
+    add_run_options(run)
+
+    run_all = sub.add_parser("run-all", help="regenerate every artifact")
+    add_run_options(run_all)
+
+    wl = sub.add_parser("workload", help="build (and optionally save) a workload")
+    wl.add_argument("name", help=f"one of {', '.join(PAPER_WORKLOADS)}")
+    wl.add_argument("--machine", default="scaled", choices=sorted(MACHINES))
+    wl.add_argument("--refs", type=int, default=80_000)
+    wl.add_argument("--seed", type=int, default=1)
+    wl.add_argument("--save", type=Path, default=None, help="write a .npz trace file")
+
+    an = sub.add_parser(
+        "analyze",
+        help="reuse-distance + phase anatomy of one workload (no scheme runs)",
+    )
+    an.add_argument("name", help=f"one of {', '.join(PAPER_WORKLOADS)}")
+    an.add_argument("--machine", default="scaled", choices=sorted(MACHINES))
+    an.add_argument("--refs", type=int, default=40_000)
+    an.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def _config(args) -> SimConfig:
+    return SimConfig(
+        machine=get_machine(args.machine),
+        refs_per_core=args.refs,
+        seed=args.seed,
+    )
+
+
+def _emit(result: ExperimentResult, out: Path | None, chart: bool = False) -> None:
+    print(f"== {result.experiment_id}: {result.title} ==")
+    print(result.table)
+    if chart:
+        avg = result.series.get("average")
+        if isinstance(avg, dict) and all(isinstance(v, (int, float)) for v in avg.values()):
+            from repro.viz import bar_chart
+
+            print()
+            print(bar_chart(avg))
+    if result.notes:
+        print(result.notes)
+    print()
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+        path = out / f"{result.experiment_id}.md"
+        path.write_text(
+            f"# {result.experiment_id}: {result.title}\n\n```\n{result.table}\n```\n\n"
+            + (result.notes + "\n" if result.notes else "")
+        )
+        print(f"wrote {path}", file=sys.stderr)
+
+
+def _run_kwargs(args) -> dict:
+    kwargs = {}
+    if args.workloads:
+        kwargs["workloads"] = tuple(w.strip() for w in args.workloads.split(","))
+    return kwargs
+
+
+def _analyze(args) -> None:
+    """Reuse-distance and phase anatomy of one workload."""
+    from repro.analysis import profile_trace, windowed_stats
+    from repro.energy.params import BLOCK_SIZE
+    from repro.sim.content import ContentSimulator
+    from repro.viz import sparkline
+
+    cfg = _config(args)
+    machine = cfg.machine
+    workload = get_workload(args.name, machine, cfg.refs_per_core, cfg.seed)
+    trace = workload.traces[0].head(min(cfg.refs_per_core, 40_000))
+    profile = profile_trace(trace)
+    print(f"{args.name} on {machine.name} (core 0, {trace.num_refs} refs)")
+    print(f"cold fraction: {profile.cold_fraction:.1%}; "
+          f"90% working set: {profile.working_set_blocks(0.9)} blocks")
+    for lvl in range(1, machine.num_levels + 1):
+        cap = machine.level(lvl).size // BLOCK_SIZE
+        print(f"  analytic {machine.level(lvl).name} hit rate (FA LRU): "
+              f"{profile.hit_rate(cap):.1%}")
+    stream = ContentSimulator(cfg).run(workload)
+    window = max(1024, stream.num_accesses // 64)
+    stats = windowed_stats(stream, window=window)
+    print(f"L1 miss rate {sparkline(stats.l1_miss_rate.tolist())} "
+          f"(mean {stats.l1_miss_rate.mean():.1%})")
+    print(f"memory rate  {sparkline(stats.memory_rate.tolist())} "
+          f"(mean {stats.memory_rate.mean():.1%})")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            for eid in experiment_ids():
+                print(eid)
+        elif args.command == "machines":
+            for name in sorted(MACHINES):
+                m = get_machine(name)
+                sizes = "/".join(f"{lvl.size >> 10}K" for lvl in m.levels)
+                print(f"{name:8s} {m.cores} cores, {sizes}, "
+                      f"PT {m.prediction_table.size >> 10}KB "
+                      f"({m.pt_overhead_ratio:.2%}, p-k={m.p_minus_k})")
+        elif args.command == "run":
+            result = run_experiment(args.experiment, _config(args), **_run_kwargs(args))
+            _emit(result, args.out, chart=args.chart)
+            clear_cache()
+        elif args.command == "run-all":
+            cfg = _config(args)
+            for eid in experiment_ids():
+                result = run_experiment(eid, cfg, **_run_kwargs(args))
+                _emit(result, args.out, chart=args.chart)
+            clear_cache()
+        elif args.command == "workload":
+            workload = get_workload(args.name, get_machine(args.machine),
+                                    args.refs, args.seed)
+            print(f"{workload.name}: {workload.cores} cores x "
+                  f"{workload.traces[0].num_refs} refs "
+                  f"({workload.total_refs} total), CPIs "
+                  f"{sorted(set(t.cpi for t in workload.traces))}")
+            if args.save:
+                path = save_workload(workload, args.save)
+                print(f"wrote {path}")
+        elif args.command == "analyze":
+            _analyze(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,24 @@
+"""ReDHiP — the paper's primary contribution: the bitmap prediction table,
+the cheap per-set recalibration machinery, the controller that plugs into
+the hierarchy, and the per-level variant for exclusive hierarchies."""
+
+from repro.core.exclusive import ExclusiveReDHiP, LevelPredictor
+from repro.core.gating import GatedPredictor, gated_redhip_scheme
+from repro.core.prediction_table import PredictionTable, pt_geometry
+from repro.core.recalibration import RecalibrationCost, RecalibrationEngine, TagMirror
+from repro.core.redhip import PAPER_RECAL_PERIOD, ReDHiPController, redhip_scheme
+
+__all__ = [
+    "ExclusiveReDHiP",
+    "GatedPredictor",
+    "LevelPredictor",
+    "PAPER_RECAL_PERIOD",
+    "PredictionTable",
+    "ReDHiPController",
+    "RecalibrationCost",
+    "RecalibrationEngine",
+    "TagMirror",
+    "gated_redhip_scheme",
+    "pt_geometry",
+    "redhip_scheme",
+]

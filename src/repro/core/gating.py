@@ -1,0 +1,145 @@
+"""Adaptive gating: disable prediction when it cannot pay for itself.
+
+§IV of the paper: "In the case when the L1 cache miss rate is very low or
+the LLC is rarely used, our prediction mechanism would be disabled to not
+waste energy or add latency."  This module implements that mechanism as a
+wrapper around any :class:`PresencePredictor`:
+
+* time is divided into windows of ``window`` L1 *accesses* (approximated
+  by miss events scaled through an L1-hit estimate supplied by the
+  controller — in simulation we simply count misses and skips);
+* at each window boundary the gate evaluates the *skip yield* of the last
+  window: the fraction of consulted lookups that actually produced a skip;
+* if the yield falls below ``min_yield`` the predictor is gated OFF for
+  the next window (lookups answer "present" instantly: no wire trip, no
+  table energy — exactly the behaviour of not having the mechanism);
+* one in every ``probe_every`` windows runs with the gate forced open, so
+  the mechanism can re-enable itself when the workload phase changes.
+
+Gated answers are trivially conservative (always "present"), so the
+no-false-negative guarantee is unaffected.
+"""
+
+from __future__ import annotations
+
+from repro.energy.params import MachineConfig
+from repro.predictors.base import PresencePredictor, SchemeSpec
+from repro.core.redhip import PAPER_RECAL_PERIOD, ReDHiPController
+from repro.util.validation import check_positive, check_range
+
+__all__ = ["GatedPredictor", "gated_redhip_scheme"]
+
+
+class GatedPredictor(PresencePredictor):
+    """Wraps a predictor with the §IV utility gate."""
+
+    def __init__(
+        self,
+        inner: PresencePredictor,
+        window: int = 4096,
+        min_yield: float = 0.05,
+        probe_every: int = 4,
+    ) -> None:
+        check_positive("window", window)
+        check_range("min_yield", min_yield, 0.0, 1.0)
+        check_positive("probe_every", probe_every)
+        self.inner = inner
+        self.name = f"Gated({inner.name})"
+        self.window = window
+        self.min_yield = min_yield
+        self.probe_every = probe_every
+        self.enabled = True
+        # Window counters.
+        self._window_lookups = 0
+        self._window_skips = 0
+        self._windows_seen = 0
+        # Telemetry.
+        self.gated_lookups = 0
+        self.consulted_lookups = 0
+        self.gate_transitions = 0
+
+    # ------------------------------------------------------------- lookups
+    def predict_present(self, block: int) -> bool:
+        self._window_lookups += 1
+        if not self.enabled:
+            self.gated_lookups += 1
+            self.last_consulted = False
+            return True  # conservative, free
+        self.consulted_lookups += 1
+        self.last_consulted = True
+        predicted = self.inner.predict_present(block)
+        if not predicted:
+            self._window_skips += 1
+        return predicted
+
+    # ------------------------------------------------------------- updates
+    def on_llc_fill(self, block: int) -> None:
+        # Table maintenance continues while gated (fills are off the
+        # critical path and keep the table warm for re-enablement).
+        self.inner.on_llc_fill(block)
+
+    def on_llc_evict(self, block: int) -> None:
+        self.inner.on_llc_evict(block)
+
+    def note_l1_miss(self) -> int:
+        stall = self.inner.note_l1_miss()
+        if self._window_lookups >= self.window:
+            self._roll_window()
+        return stall
+
+    def _roll_window(self) -> None:
+        self._windows_seen += 1
+        if self.enabled:
+            yield_ = self._window_skips / max(1, self._window_lookups)
+            if yield_ < self.min_yield:
+                self.enabled = False
+                self.gate_transitions += 1
+        else:
+            # Periodic probe window to detect phase changes.
+            if self._windows_seen % self.probe_every == 0:
+                self.enabled = True
+                self.gate_transitions += 1
+        self._window_lookups = 0
+        self._window_skips = 0
+
+    # ----------------------------------------------------------- telemetry
+    def maintenance_energy_nj(self) -> float:
+        return self.inner.maintenance_energy_nj()
+
+    @property
+    def table_updates(self) -> int:
+        return int(getattr(self.inner, "table_updates", 0))
+
+    def stats(self) -> dict[str, float]:
+        out = {f"inner_{k}": v for k, v in self.inner.stats().items()}
+        out.update(
+            gated_lookups=float(self.gated_lookups),
+            consulted_lookups=float(self.consulted_lookups),
+            gate_transitions=float(self.gate_transitions),
+            gate_enabled_finally=float(self.enabled),
+        )
+        return out
+
+
+def gated_redhip_scheme(
+    recal_period: int | None = PAPER_RECAL_PERIOD,
+    window: int = 4096,
+    min_yield: float = 0.05,
+    probe_every: int = 4,
+    name: str = "ReDHiP-gated",
+) -> SchemeSpec:
+    """ReDHiP wrapped in the §IV utility gate."""
+
+    def factory(machine: MachineConfig) -> PresencePredictor:
+        return GatedPredictor(
+            ReDHiPController(machine, recal_period=recal_period),
+            window=window, min_yield=min_yield, probe_every=probe_every,
+        )
+
+    return SchemeSpec(
+        name=name,
+        kind="predictor",
+        make_predictor=factory,
+        notes="ReDHiP with low-utility gating (§IV): lookups disabled when "
+        "the skip yield cannot pay for the lookup overhead.",
+    )

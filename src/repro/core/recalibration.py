@@ -1,0 +1,195 @@
+"""Recalibration (§III-B): schedule, hardware cost model, and tag mirror.
+
+Recalibration rebuilds the whole prediction table from the LLC tag array so
+that bits left stale by evictions are cleared.  The paper's central insight
+is that bits-hash makes this *cheap*: every tag in LLC set ``s`` maps into
+the table line(s) of set ``s`` using only its low ``p - k`` tag bits, so a
+set is recalibrated in one cycle by 16 six-to-64 decoders and an OR tree
+(Figure 4), and banking processes several sets per cycle (Figure 5).
+
+Three cooperating pieces live here:
+
+:class:`TagMirror`
+    Exact per-entry resident counts, updated on every LLC fill/evict.  This
+    is *not* extra hardware — it mirrors information the LLC tag array
+    already holds, and exists so the simulator can produce the precise
+    bitmap a hardware sweep would produce without walking all tags at every
+    sweep (``presence = counts > 0`` is one vectorized op).
+
+:class:`RecalibrationCost`
+    The cycle/energy price of one full sweep, parameterized by hash kind:
+    bits-hash sweeps ``num_sets / banks`` cycles (16 K cycles for the
+    paper's 64 MB LLC with 4 banks); xor-hash falls back to the serial
+    per-tag process §III-B describes ("several million cycles"), which the
+    hash ablation uses to show why bits-hash is the enabling choice.
+
+:class:`RecalibrationEngine`
+    The schedule: a full sweep every ``period`` L1 misses (paper: every
+    1 M L1 misses; the scaled machine scales the period with trace length
+    so the sweep *count* per run matches the paper's ~340).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.energy.params import MachineConfig
+from repro.hierarchy.banking import BankSchedule
+from repro.util.validation import ConfigError, check_positive
+
+__all__ = [
+    "AdaptiveRecalibrationEngine",
+    "RecalibrationCost",
+    "RecalibrationEngine",
+    "TagMirror",
+]
+
+
+class TagMirror:
+    """Exact per-table-entry resident counts for the LLC.
+
+    With bits-hash and ``p > k`` every entry can alias at most ``assoc``
+    resident blocks (they all live in one set) — the property that makes
+    1-bit entries viable; :meth:`max_count` lets tests assert it.
+    """
+
+    def __init__(self, num_entries: int, index_mask: int) -> None:
+        check_positive("num_entries", num_entries)
+        self._counts = np.zeros(num_entries, dtype=np.int32)
+        self._mask = index_mask
+
+    def fill(self, block: int) -> None:
+        self._counts[block & self._mask] += 1
+
+    def evict(self, block: int) -> None:
+        idx = block & self._mask
+        if self._counts[idx] == 0:
+            raise ConfigError(
+                "tag mirror underflow: eviction of a block never filled "
+                f"(index {idx})"
+            )
+        self._counts[idx] -= 1
+
+    @property
+    def counts(self) -> np.ndarray:
+        return self._counts
+
+    def max_count(self) -> int:
+        return int(self._counts.max()) if len(self._counts) else 0
+
+    def resident_entries(self) -> int:
+        return int((self._counts > 0).sum())
+
+
+@dataclass(frozen=True)
+class RecalibrationCost:
+    """Cycle and energy price of one full recalibration sweep."""
+
+    cycles: int
+    energy_nj: float
+
+    @classmethod
+    def for_machine(cls, machine: MachineConfig, hash_kind: str = "bits",
+                    banks: int | None = None) -> "RecalibrationCost":
+        """Derive the sweep cost from the machine parameters.
+
+        bits-hash: one LLC set per bank per cycle; energy is one tag-array
+        read per set plus one table-line write per set (the decoder/OR tree
+        is combinational).  xor-hash: every tag is read, hashed and
+        scattered individually — 2 cycles per tag, serially, with a table
+        write per tag; this is the "several million cycles" process the
+        paper rules out.
+        """
+        llc = machine.llc
+        nbanks = banks if banks is not None else machine.prediction_table.banks
+        pt_write = machine.prediction_table.access_energy
+        if hash_kind == "bits":
+            schedule = BankSchedule(num_sets=llc.num_sets, banks=min(nbanks, llc.num_sets))
+            cycles = schedule.sweep_cycles
+            energy = llc.num_sets * (llc.tag_energy + pt_write)
+        elif hash_kind == "xor":
+            tags = llc.num_lines
+            cycles = 2 * tags
+            energy = tags * (llc.tag_energy / llc.assoc + pt_write)
+        else:
+            raise ConfigError(f"unknown hash kind {hash_kind!r}")
+        return cls(cycles=cycles, energy_nj=energy)
+
+
+class RecalibrationEngine:
+    """Periodic full-table recalibration driven by the L1-miss count.
+
+    ``period`` semantics (matching Figure 12's x-axis):
+
+    * ``1`` — recalibrate after every L1 miss ("perfect recalibration");
+    * ``N`` — a full sweep every N L1 misses (paper default 1 000 000);
+    * ``None`` — never recalibrate (the figure's ``Infinite`` point).
+    """
+
+    def __init__(self, period: int | None, cost: RecalibrationCost) -> None:
+        if period is not None:
+            check_positive("recalibration period", period)
+        self.period = period
+        self.cost = cost
+        self.l1_misses = 0
+        self.sweeps = 0
+
+    def note_fill(self) -> None:
+        """LLC fill hook; the fixed-period engine ignores it (the adaptive
+        subclass counts churn instead of misses)."""
+
+    def note_l1_miss(self) -> bool:
+        """Advance time by one L1 miss; True when a sweep is due *now*."""
+        if self.period is None:
+            return False
+        self.l1_misses += 1
+        return self.l1_misses % self.period == 0
+
+    def sweep(self, table, mirror: TagMirror) -> None:
+        """Perform the sweep: table := exact presence bitmap."""
+        table.load_from_counts(mirror.counts)
+        self.sweeps += 1
+
+    @property
+    def total_cycles(self) -> int:
+        """Stall cycles spent sweeping so far (PT and LLC tag array busy)."""
+        return self.sweeps * self.cost.cycles
+
+    @property
+    def total_energy_nj(self) -> float:
+        return self.sweeps * self.cost.energy_nj
+
+
+class AdaptiveRecalibrationEngine(RecalibrationEngine):
+    """Staleness-driven recalibration (a future-work refinement of §III-B).
+
+    The fixed period of Figure 12 spends sweeps uniformly in time, but
+    staleness accumulates with LLC *churn*, not with misses per se: a phase
+    that hits on-chip adds no stale bits, while a streaming phase poisons
+    the table quickly.  This engine counts LLC fills since the last sweep
+    and fires when they exceed ``threshold`` x LLC lines — equal sweep
+    budget where churn is steady, better-placed sweeps where it is bursty.
+
+    Drives the same table/mirror machinery; only the trigger differs.
+    """
+
+    def __init__(self, threshold: float, llc_lines: int,
+                 cost: RecalibrationCost) -> None:
+        super().__init__(period=None, cost=cost)
+        check_positive("threshold", threshold)
+        check_positive("llc_lines", llc_lines)
+        self.fill_budget = max(1, int(threshold * llc_lines))
+        self._fills_since_sweep = 0
+
+    def note_fill(self) -> None:
+        """The LLC installed a line (called from the controller)."""
+        self._fills_since_sweep += 1
+
+    def note_l1_miss(self) -> bool:
+        self.l1_misses += 1
+        if self._fills_since_sweep >= self.fill_budget:
+            self._fills_since_sweep = 0
+            return True
+        return False

@@ -1,0 +1,177 @@
+"""The ReDHiP controller: prediction table + recalibration, wired as a
+:class:`repro.predictors.base.PresencePredictor`.
+
+Operation per §III:
+
+1. Every L1 miss consults the table (bits-hash of the block number).  A
+   clear bit means *the block is in no cache* (inclusive hierarchy), so all
+   lower levels are skipped and the request goes straight to memory.
+2. When the fetched block is installed in the LLC the bit is set.
+   Evictions do **not** clear bits — staleness accumulates as false
+   positives.
+3. Every ``recal_period`` L1 misses a full recalibration sweep rebuilds the
+   table from the LLC tag array, clearing the stale bits (§III-B).
+
+The conservative direction of every approximation (aliased bits, stale
+bits) is "predict present", so false negatives are impossible; the
+evaluator asserts this against ground truth on every run.
+"""
+
+from __future__ import annotations
+
+from repro.core.prediction_table import PredictionTable
+from repro.core.recalibration import RecalibrationCost, RecalibrationEngine, TagMirror
+from repro.energy.params import MachineConfig
+from repro.predictors.base import PresencePredictor, SchemeSpec
+from repro.predictors.hashes import make_hash
+from repro.util.bitops import mask
+from repro.util.validation import ConfigError
+
+__all__ = ["ReDHiPController", "redhip_scheme"]
+
+#: Paper default: one full recalibration sweep per 1 M L1 misses.
+PAPER_RECAL_PERIOD = 1_000_000
+
+
+class ReDHiPController(PresencePredictor):
+    """Run-local ReDHiP state: table, tag mirror, recalibration engine.
+
+    Parameters
+    ----------
+    machine:
+        Supplies the LLC geometry and the default table size.
+    table_bytes:
+        Override the table capacity (Figure 11's sweep); defaults to the
+        machine's prediction-table size.
+    recal_period:
+        L1 misses between sweeps, or ``None`` for never (Figure 12).
+    hash_kind:
+        ``"bits"`` (the design) or ``"xor"`` (ablation — identical accuracy
+        mechanics here, but the sweep cost model becomes the serial per-tag
+        process, which is the point of the ablation).
+    """
+
+    name = "ReDHiP"
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        table_bytes: int | None = None,
+        recal_period: int | None = PAPER_RECAL_PERIOD,
+        hash_kind: str = "bits",
+        banks: int | None = None,
+        recal_threshold: float | None = None,
+    ) -> None:
+        size = table_bytes if table_bytes is not None else machine.prediction_table.size
+        llc = machine.llc
+        self.table = PredictionTable(size_bytes=size, llc_set_bits=llc.set_index_bits)
+        if hash_kind == "bits":
+            self._hash = None  # identity path: table indexes with bits-hash
+        elif hash_kind == "xor":
+            self._hash = make_hash("xor", self.table.p)
+        else:
+            raise ConfigError(f"unknown hash kind {hash_kind!r}")
+        self.hash_kind = hash_kind
+        self.mirror = TagMirror(self.table.num_bits, index_mask=mask(self.table.p))
+        cost = RecalibrationCost.for_machine(machine, hash_kind=hash_kind, banks=banks)
+        if recal_threshold is not None:
+            from repro.core.recalibration import AdaptiveRecalibrationEngine
+
+            self.engine: RecalibrationEngine = AdaptiveRecalibrationEngine(
+                threshold=recal_threshold, llc_lines=llc.num_lines, cost=cost
+            )
+        else:
+            self.engine = RecalibrationEngine(period=recal_period, cost=cost)
+        # Telemetry.
+        self.lookups = 0
+        self.predicted_miss = 0
+        #: Table writes (one per LLC fill; evictions never touch the table).
+        self.table_updates = 0
+
+    # ----------------------------------------------------------- prediction
+    def _index(self, block: int) -> int:
+        if self._hash is None:
+            return block & ((1 << self.table.p) - 1)
+        return self._hash(block)
+
+    def predict_present(self, block: int) -> bool:
+        self.lookups += 1
+        present = bool(self.table._bits[self._index(block)])
+        if not present:
+            self.predicted_miss += 1
+        return present
+
+    # -------------------------------------------------------------- updates
+    def on_llc_fill(self, block: int) -> None:
+        idx = self._index(block)
+        self.table._bits[idx] = True
+        self.mirror._counts[idx] += 1
+        self.table_updates += 1
+        self.engine.note_fill()
+
+    def on_llc_evict(self, block: int) -> None:
+        # The bit stays set (1-bit entries can't count); only the mirror —
+        # i.e. the LLC tag array itself — knows the truth until a sweep.
+        idx = self._index(block)
+        if self.mirror._counts[idx] == 0:
+            raise ConfigError("LLC evicted a block the controller never saw filled")
+        self.mirror._counts[idx] -= 1
+
+    def note_l1_miss(self) -> int:
+        if self.engine.note_l1_miss():
+            self.engine.sweep(self.table, self.mirror)
+            return self.engine.cost.cycles
+        return 0
+
+    def maintenance_energy_nj(self) -> float:
+        return self.engine.total_energy_nj
+
+    # ------------------------------------------------------------ telemetry
+    def stats(self) -> dict[str, float]:
+        return {
+            "lookups": float(self.lookups),
+            "predicted_miss": float(self.predicted_miss),
+            "table_bits": float(self.table.num_bits),
+            "table_occupancy": self.table.occupancy,
+            "mirror_max_aliases": float(self.mirror.max_count()),
+            "recal_sweeps": float(self.engine.sweeps),
+            "recal_cycles": float(self.engine.total_cycles),
+            "recal_energy_nj": self.engine.total_energy_nj,
+        }
+
+
+def redhip_scheme(
+    table_bytes: int | None = None,
+    recal_period: int | None = PAPER_RECAL_PERIOD,
+    hash_kind: str = "bits",
+    banks: int | None = None,
+    name: str = "ReDHiP",
+    lookup_delay: int | None = None,
+    lookup_energy_nj: float | None = None,
+    recal_threshold: float | None = None,
+) -> SchemeSpec:
+    """Build the ReDHiP scheme spec (§III design, §IV configuration).
+
+    ``lookup_delay``/``lookup_energy_nj`` override the machine's
+    prediction-table costs; the paper's "ReDHiP without overhead" variant
+    (quoted at +10 %) sets the lookup delay to zero.
+    """
+
+    def factory(machine: MachineConfig) -> PresencePredictor:
+        return ReDHiPController(
+            machine,
+            table_bytes=table_bytes,
+            recal_period=recal_period,
+            hash_kind=hash_kind,
+            banks=banks,
+            recal_threshold=recal_threshold,
+        )
+
+    return SchemeSpec(
+        name=name,
+        kind="predictor",
+        make_predictor=factory,
+        lookup_delay=lookup_delay,
+        lookup_energy_nj=lookup_energy_nj,
+        notes="Direct-mapped 1-bit bitmap, bits-hash, periodic recalibration.",
+    )

@@ -1,0 +1,137 @@
+"""A banked DRAM model — the upgrade path for the paper's free memory.
+
+§IV: "the memory is not modeled in our simulator but treated as a data
+store that always hits on requests (with no delay and no energy
+consumption)."  That choice makes every measured gain an *on-chip* gain;
+the ``ext-timing`` experiment charges a flat latency to test sensitivity,
+and this module goes one step further: a standard channel/bank/row model
+with open-page policy, so memory latency depends on the access pattern
+(row-buffer hits for streams, conflicts for random traffic) instead of
+being a single constant.
+
+Address mapping (block granularity): low bits pick the channel, next the
+bank, the rest the row — the usual interleaving that spreads streams
+across banks.  Per access the model returns latency/energy of one of:
+
+* **row hit** — the open row matches (fast, cheap: one column access);
+* **row miss** — the bank was idle/precharged: activate + column;
+* **row conflict** — another row is open: precharge + activate + column.
+
+Timing constants are in core cycles (3.7 GHz, DDR3-1600-class part).
+The model is deliberately stateful-but-simple: no command scheduling, no
+refresh — enough to turn "memory is free" into "memory behaves like
+memory" for the sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.bitops import ilog2
+from repro.util.validation import check_pow2
+
+__all__ = ["DramConfig", "DramModel", "DramStats"]
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """Geometry and cost constants of the memory system."""
+
+    channels: int = 2
+    banks_per_channel: int = 8
+    #: Cache blocks per DRAM row (8 KB rows / 64 B blocks).
+    blocks_per_row: int = 128
+    #: Core cycles (@3.7 GHz) — CAS, RCD and RP of a DDR3-1600-class part.
+    col_cycles: int = 50
+    act_cycles: int = 50
+    pre_cycles: int = 50
+    #: nJ per operation (activation dominates; column read/write smaller).
+    col_energy_nj: float = 4.0
+    act_energy_nj: float = 12.0
+    pre_energy_nj: float = 4.0
+
+    def __post_init__(self) -> None:
+        check_pow2("channels", self.channels)
+        check_pow2("banks_per_channel", self.banks_per_channel)
+        check_pow2("blocks_per_row", self.blocks_per_row)
+
+    @property
+    def num_banks(self) -> int:
+        return self.channels * self.banks_per_channel
+
+    @property
+    def row_hit_latency(self) -> int:
+        return self.col_cycles
+
+    @property
+    def row_miss_latency(self) -> int:
+        return self.act_cycles + self.col_cycles
+
+    @property
+    def row_conflict_latency(self) -> int:
+        return self.pre_cycles + self.act_cycles + self.col_cycles
+
+
+@dataclass
+class DramStats:
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def accesses(self) -> int:
+        return self.row_hits + self.row_misses + self.row_conflicts
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.accesses if self.accesses else 0.0
+
+
+class DramModel:
+    """Open-page banked DRAM; one open-row register per bank."""
+
+    def __init__(self, config: DramConfig | None = None) -> None:
+        self.config = config or DramConfig()
+        cfg = self.config
+        self._bank_bits = ilog2(cfg.num_banks)
+        self._row_shift = self._bank_bits + ilog2(cfg.blocks_per_row)
+        self._open_row = np.full(cfg.num_banks, -1, dtype=np.int64)
+        self.stats = DramStats()
+
+    def _locate(self, block: int) -> tuple[int, int]:
+        bank = block & (self.config.num_banks - 1)
+        row = block >> self._row_shift
+        return bank, row
+
+    def access(self, block: int) -> tuple[int, float]:
+        """One memory access; returns (latency_cycles, energy_nj)."""
+        cfg = self.config
+        bank, row = self._locate(block)
+        open_row = int(self._open_row[bank])
+        if open_row == row:
+            self.stats.row_hits += 1
+            return cfg.row_hit_latency, cfg.col_energy_nj
+        self._open_row[bank] = row
+        if open_row == -1:
+            self.stats.row_misses += 1
+            return cfg.row_miss_latency, cfg.act_energy_nj + cfg.col_energy_nj
+        self.stats.row_conflicts += 1
+        return (
+            cfg.row_conflict_latency,
+            cfg.pre_energy_nj + cfg.act_energy_nj + cfg.col_energy_nj,
+        )
+
+    def access_stream(self, blocks: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vector convenience: latencies/energies for a block sequence."""
+        lat = np.empty(len(blocks), dtype=np.int64)
+        energy = np.empty(len(blocks), dtype=np.float64)
+        for i, b in enumerate(blocks.tolist()):
+            lat[i], energy[i] = self.access(b)
+        return lat, energy
+
+    def reset(self) -> None:
+        self._open_row[:] = -1
+        self.stats = DramStats()

@@ -1,0 +1,416 @@
+"""Machine parameter sets (the paper's Table I, plus a scaled machine).
+
+Two machines are provided:
+
+``paper``
+    The exact configuration of Table I: 8 cores at 3.7 GHz, private
+    32 KB L1 / 256 KB L2 / 4 MB L3 and a shared 64 MB L4, with the latency,
+    dynamic-energy and leakage numbers the authors obtained from CACTI 6.5
+    and [25].  The 512 KB prediction table gives ``p = 22``, ``k = 16``,
+    ``p - k = 6``.
+
+``scaled``
+    A ratio-preserving shrink used by default in tests and benchmarks so a
+    full experiment runs in seconds: 8 KB / 32 KB / 128 KB private levels
+    and a 2 MB shared LLC (the sum of private capacity is ~50 % of the LLC,
+    the same ratio as the paper's 34 MB : 64 MB, and bench-length traces
+    reach steady-state LLC churn).  The per-access energies and latencies
+    are kept at the paper's Table I values so every energy *ratio*
+    (tag:data, L4 >> L1) is preserved, and the prediction table is kept at
+    the paper's 0.78 % of LLC capacity (16 KB), which yields ``p = 17``,
+    ``k = 11`` and the identical structural constant ``p - k = 6``.
+
+All sizes are bytes, delays are core cycles, energies are nano-joules per
+array access, leakage is watts per structure instance (per core for private
+levels, total for the shared LLC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.util.bitops import ilog2
+from repro.util.validation import ConfigError, check_positive, check_pow2
+
+__all__ = [
+    "CacheLevelParams",
+    "PredictionTableParams",
+    "MachineConfig",
+    "paper_machine",
+    "scaled_machine",
+    "tiny_machine",
+    "get_machine",
+    "MACHINES",
+]
+
+#: Block size used throughout the paper (64-byte lines, 6 offset bits).
+BLOCK_SIZE = 64
+BLOCK_BITS = 6
+
+
+@dataclass(frozen=True)
+class CacheLevelParams:
+    """Static parameters of one cache level.
+
+    ``tag_delay``/``data_delay`` are the serial-phase latencies used by the
+    Phased Cache scheme; a conventional parallel access takes
+    ``max(tag_delay, data_delay)`` cycles and spends ``tag_energy +
+    data_energy`` nJ (both arrays fire speculatively).  For L1/L2 the paper
+    quotes a single access delay/energy; we split the energy with a nominal
+    1:4 tag:data ratio purely for component-level reporting — the sum always
+    equals the quoted value and L1/L2 are never phased.
+    """
+
+    name: str
+    size: int
+    assoc: int
+    shared: bool
+    tag_delay: int
+    data_delay: int
+    tag_energy: float
+    data_energy: float
+    leakage_w: float
+    line_size: int = BLOCK_SIZE
+
+    def __post_init__(self) -> None:
+        check_pow2(f"{self.name}.size", self.size)
+        check_pow2(f"{self.name}.assoc", self.assoc)
+        check_pow2(f"{self.name}.line_size", self.line_size)
+        check_positive(f"{self.name}.tag_delay", self.tag_delay)
+        check_positive(f"{self.name}.data_delay", self.data_delay)
+        check_positive(f"{self.name}.tag_energy", self.tag_energy)
+        check_positive(f"{self.name}.data_energy", self.data_energy)
+        if self.size % (self.assoc * self.line_size):
+            raise ConfigError(f"{self.name}: size not divisible by assoc*line")
+
+    @property
+    def num_lines(self) -> int:
+        """Total cache lines in the structure."""
+        return self.size // self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets (``2**k`` in the paper's notation)."""
+        return self.size // (self.assoc * self.line_size)
+
+    @property
+    def set_index_bits(self) -> int:
+        """``k``: width of the set index in block-address bits."""
+        return ilog2(self.num_sets)
+
+    @property
+    def access_delay(self) -> int:
+        """Latency of a conventional parallel tag+data access."""
+        return max(self.tag_delay, self.data_delay)
+
+    @property
+    def access_energy(self) -> float:
+        """Energy of a conventional parallel tag+data access (both fire)."""
+        return self.tag_energy + self.data_energy
+
+
+@dataclass(frozen=True)
+class PredictionTableParams:
+    """Parameters of the ReDHiP prediction table structure.
+
+    ``size`` is the bitmap capacity in bytes (``8 * size`` one-bit entries,
+    so ``p = log2(8 * size)``); ``access_delay`` is the SRAM read latency
+    and ``wire_delay`` the round-trip wiring from the core to the table
+    located beside the LLC (estimated from [23] in the paper).
+    """
+
+    size: int
+    access_delay: int
+    wire_delay: int
+    access_energy: float
+    leakage_w: float
+    banks: int = 4
+
+    def __post_init__(self) -> None:
+        check_pow2("prediction_table.size", self.size)
+        check_pow2("prediction_table.banks", self.banks)
+        check_positive("prediction_table.access_delay", self.access_delay)
+        check_positive("prediction_table.access_energy", self.access_energy)
+        if self.wire_delay < 0:
+            raise ConfigError("prediction_table.wire_delay must be >= 0")
+
+    @property
+    def num_bits(self) -> int:
+        """One-bit entry count of the bitmap."""
+        return self.size * 8
+
+    @property
+    def index_bits(self) -> int:
+        """``p``: width of the bits-hash index."""
+        return ilog2(self.num_bits)
+
+    @property
+    def lookup_delay(self) -> int:
+        """End-to-end lookup latency seen by an L1 miss (access + wire)."""
+        return self.access_delay + self.wire_delay
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A full machine: cores, cache levels (L1 first), prediction table."""
+
+    name: str
+    cores: int
+    frequency_hz: float
+    levels: tuple[CacheLevelParams, ...]
+    prediction_table: PredictionTableParams
+    description: str = ""
+    extra: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        check_positive("cores", self.cores)
+        check_positive("frequency_hz", self.frequency_hz)
+        if len(self.levels) < 2:
+            raise ConfigError("a hierarchy needs at least two levels")
+        if any(lvl.shared for lvl in self.levels[:-1]):
+            raise ConfigError("only the last level may be shared")
+        if not self.levels[-1].shared:
+            raise ConfigError("the last level must be the shared LLC")
+        sizes = [lvl.size for lvl in self.levels]
+        if sizes != sorted(sizes):
+            raise ConfigError("cache sizes must be non-decreasing with depth")
+
+    @property
+    def llc(self) -> CacheLevelParams:
+        """The shared last-level cache."""
+        return self.levels[-1]
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def pt_overhead_ratio(self) -> float:
+        """Prediction-table capacity as a fraction of the LLC (paper: 0.78 %)."""
+        return self.prediction_table.size / self.llc.size
+
+    @property
+    def p_minus_k(self) -> int:
+        """The structural constant of Figure 3/4 (6 in both machines)."""
+        return self.prediction_table.index_bits - self.llc.set_index_bits
+
+    def with_prediction_table(self, **changes) -> "MachineConfig":
+        """Return a copy with prediction-table fields replaced (sweeps)."""
+        return replace(self, prediction_table=replace(self.prediction_table, **changes))
+
+    def with_cores(self, cores: int) -> "MachineConfig":
+        """Return a copy with a different core count (scaling studies).
+
+        The shared LLC size is unchanged, so per-core pressure varies —
+        the knob the core-scaling extension experiment sweeps.
+        """
+        return replace(self, cores=cores, name=f"{self.name}-{cores}c")
+
+    def level(self, number: int) -> CacheLevelParams:
+        """1-based level accessor (``level(1)`` is the L1)."""
+        if not 1 <= number <= len(self.levels):
+            raise ConfigError(f"no level {number} in {self.name}")
+        return self.levels[number - 1]
+
+
+def paper_machine() -> MachineConfig:
+    """Table I verbatim."""
+    levels = (
+        CacheLevelParams(
+            name="L1", size=32 * 1024, assoc=4, shared=False,
+            tag_delay=2, data_delay=2,
+            tag_energy=0.0144 / 5, data_energy=0.0144 * 4 / 5,
+            leakage_w=0.0013,
+        ),
+        CacheLevelParams(
+            name="L2", size=256 * 1024, assoc=8, shared=False,
+            tag_delay=6, data_delay=6,
+            tag_energy=0.0634 / 5, data_energy=0.0634 * 4 / 5,
+            leakage_w=0.02,
+        ),
+        CacheLevelParams(
+            name="L3", size=4 * 1024 * 1024, assoc=16, shared=False,
+            tag_delay=9, data_delay=12,
+            tag_energy=0.348, data_energy=0.839,
+            leakage_w=0.16,
+        ),
+        CacheLevelParams(
+            name="L4", size=64 * 1024 * 1024, assoc=16, shared=True,
+            tag_delay=13, data_delay=22,
+            tag_energy=1.171, data_energy=5.542,
+            leakage_w=2.56,
+        ),
+    )
+    pt = PredictionTableParams(
+        size=512 * 1024, access_delay=1, wire_delay=5,
+        access_energy=0.02, leakage_w=0.01, banks=4,
+    )
+    return MachineConfig(
+        name="paper", cores=8, frequency_hz=3.7e9, levels=levels,
+        prediction_table=pt,
+        description="Table I of the paper (CACTI 6.5 derived numbers).",
+    )
+
+
+def scaled_machine() -> MachineConfig:
+    """Ratio-preserving shrink for fast experiments (see module docstring)."""
+    levels = (
+        CacheLevelParams(
+            name="L1", size=8 * 1024, assoc=4, shared=False,
+            tag_delay=2, data_delay=2,
+            tag_energy=0.0144 / 5, data_energy=0.0144 * 4 / 5,
+            leakage_w=0.0013,
+        ),
+        CacheLevelParams(
+            name="L2", size=32 * 1024, assoc=8, shared=False,
+            tag_delay=6, data_delay=6,
+            tag_energy=0.0634 / 5, data_energy=0.0634 * 4 / 5,
+            leakage_w=0.02,
+        ),
+        CacheLevelParams(
+            name="L3", size=128 * 1024, assoc=16, shared=False,
+            tag_delay=9, data_delay=12,
+            tag_energy=0.348, data_energy=0.839,
+            leakage_w=0.16,
+        ),
+        CacheLevelParams(
+            name="L4", size=2 * 1024 * 1024, assoc=16, shared=True,
+            tag_delay=13, data_delay=22,
+            tag_energy=1.171, data_energy=5.542,
+            leakage_w=2.56,
+        ),
+    )
+    pt = PredictionTableParams(
+        size=16 * 1024, access_delay=1, wire_delay=5,
+        access_energy=0.02, leakage_w=0.01, banks=4,
+    )
+    return MachineConfig(
+        name="scaled", cores=8, frequency_hz=3.7e9, levels=levels,
+        prediction_table=pt,
+        description="Ratio-preserving shrink of Table I (p-k = 6 preserved).",
+    )
+
+
+def tiny_machine() -> MachineConfig:
+    """A very small 2-core machine for unit tests and property-based tests.
+
+    Small enough that hypothesis-generated traces exercise evictions,
+    back-invalidation and recalibration within a few hundred accesses.
+    """
+    levels = (
+        CacheLevelParams(
+            name="L1", size=1024, assoc=2, shared=False,
+            tag_delay=2, data_delay=2,
+            tag_energy=0.003, data_energy=0.012, leakage_w=0.0013,
+        ),
+        CacheLevelParams(
+            name="L2", size=4 * 1024, assoc=4, shared=False,
+            tag_delay=6, data_delay=6,
+            tag_energy=0.013, data_energy=0.051, leakage_w=0.02,
+        ),
+        CacheLevelParams(
+            name="L3", size=16 * 1024, assoc=8, shared=False,
+            tag_delay=9, data_delay=12,
+            tag_energy=0.348, data_energy=0.839, leakage_w=0.16,
+        ),
+        CacheLevelParams(
+            name="L4", size=64 * 1024, assoc=16, shared=True,
+            tag_delay=13, data_delay=22,
+            tag_energy=1.171, data_energy=5.542, leakage_w=2.56,
+        ),
+    )
+    pt = PredictionTableParams(
+        size=512, access_delay=1, wire_delay=5,
+        access_energy=0.02, leakage_w=0.01, banks=2,
+    )
+    return MachineConfig(
+        name="tiny", cores=2, frequency_hz=3.7e9, levels=levels,
+        prediction_table=pt,
+        description="Miniature machine for unit/property tests.",
+    )
+
+
+def deep_machine(depth: int = 5, cores: int = 8) -> MachineConfig:
+    """A hierarchy of arbitrary depth (2..6 levels), for the depth study.
+
+    Figure 1's trend — ever deeper hierarchies — is the paper's opening
+    motivation; this factory lets the ``ext-depth`` experiment quantify
+    how ReDHiP's benefit grows with depth.  Private levels start at 8 KB
+    and grow 4x per level; the shared LLC is sized to at least twice the
+    aggregate private capacity (inclusive feasibility) with a floor of
+    2 MB.  Latencies, dynamic energies and leakage come from the
+    analytical CACTI model (:mod:`repro.energy.cacti`), which is fitted to
+    Table I — so a 4-level deep machine closely tracks the scaled machine.
+    """
+    from repro.energy.cacti import CactiModel  # local import avoids a cycle
+
+    if not 2 <= depth <= 6:
+        raise ConfigError("depth must be between 2 and 6 levels")
+    model = CactiModel()
+    private_sizes = [8 * 1024 * (4 ** i) for i in range(depth - 1)]
+    private_total = sum(private_sizes) * cores
+    llc_size = 2 * 1024 * 1024
+    while llc_size < 2 * private_total:
+        llc_size *= 2
+    assocs = [4, 8] + [16] * max(0, depth - 3)
+    levels = []
+    for i, size in enumerate(private_sizes):
+        est = model.estimate_level(
+            CacheLevelParams(
+                name=f"L{i + 1}", size=size, assoc=assocs[i], shared=False,
+                tag_delay=1, data_delay=1, tag_energy=0.001, data_energy=0.004,
+                leakage_w=0.001,
+            )
+        )
+        levels.append(CacheLevelParams(
+            name=f"L{i + 1}", size=size, assoc=assocs[i], shared=False,
+            tag_delay=max(1, round(est.tag_delay)),
+            data_delay=max(2, round(est.data_delay)),
+            tag_energy=est.tag_energy, data_energy=est.data_energy,
+            leakage_w=max(1e-4, est.leakage_w),
+        ))
+    est = model.estimate_level(
+        CacheLevelParams(
+            name=f"L{depth}", size=llc_size, assoc=16, shared=True,
+            tag_delay=1, data_delay=1, tag_energy=0.001, data_energy=0.004,
+            leakage_w=0.001,
+        )
+    )
+    levels.append(CacheLevelParams(
+        name=f"L{depth}", size=llc_size, assoc=16, shared=True,
+        tag_delay=max(2, round(est.tag_delay)),
+        data_delay=max(3, round(est.data_delay)),
+        tag_energy=est.tag_energy, data_energy=est.data_energy,
+        leakage_w=max(1e-3, est.leakage_w),
+    ))
+    pt_size = llc_size // 128  # the paper's 0.78% ratio -> p-k = 6
+    pt_est = model.estimate_table(pt_size)
+    pt = PredictionTableParams(
+        size=pt_size, access_delay=1, wire_delay=5,
+        access_energy=max(0.005, pt_est.access_energy),
+        leakage_w=max(1e-3, pt_est.leakage_w), banks=4,
+    )
+    return MachineConfig(
+        name=f"deep{depth}", cores=cores, frequency_hz=3.7e9,
+        levels=tuple(levels), prediction_table=pt,
+        description=f"{depth}-level hierarchy from the analytical CACTI model.",
+    )
+
+
+MACHINES = {
+    "paper": paper_machine,
+    "scaled": scaled_machine,
+    "tiny": tiny_machine,
+    "deep5": lambda: deep_machine(5),
+}
+
+
+def get_machine(name: str) -> MachineConfig:
+    """Look up a machine by registry name (``paper``/``scaled``/``tiny``)."""
+    try:
+        factory = MACHINES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown machine {name!r}; available: {sorted(MACHINES)}"
+        ) from None
+    return factory()

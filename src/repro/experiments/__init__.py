@@ -1,0 +1,15 @@
+"""Per-figure/table experiment modules and the registry that maps every
+paper artifact id to a runnable regeneration."""
+
+from repro.experiments.context import clear_cache, default_config, get_runner, paper_schemes
+from repro.experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "clear_cache",
+    "default_config",
+    "experiment_ids",
+    "get_runner",
+    "paper_schemes",
+    "run_experiment",
+]

@@ -1,0 +1,58 @@
+"""Shared experiment context: default config, runner memoization, schemes.
+
+Experiments regenerate different figures from the *same* content streams
+(that is the whole point of the two-phase design), so the runner — which
+caches workloads and streams — is memoized per config.  A pytest-benchmark
+session that regenerates Figures 6-10 therefore pays for each content walk
+exactly once.
+"""
+
+from __future__ import annotations
+
+from repro.core.redhip import redhip_scheme
+from repro.predictors.base import SchemeSpec, base_scheme, oracle_scheme, phased_scheme
+from repro.predictors.cbf_scheme import cbf_scheme
+from repro.sim.config import SimConfig, bench_config
+from repro.sim.runner import ExperimentRunner
+
+__all__ = ["get_runner", "default_config", "paper_schemes", "clear_cache"]
+
+_RUNNERS: dict[tuple, ExperimentRunner] = {}
+
+
+def default_config() -> SimConfig:
+    """Benchmark-layer config from the environment (see ``sim.config``)."""
+    return bench_config()
+
+
+def get_runner(config: SimConfig | None = None) -> ExperimentRunner:
+    """Memoized runner for ``config`` (or the environment default).
+
+    The key covers both the content-trajectory identity
+    (``cfg.cache_key()``) and every evaluation-side knob, so two configs
+    that evaluate differently never share a runner.
+    """
+    cfg = config or default_config()
+    key = cfg.cache_key() + (
+        cfg.fill_energy_weight, cfg.memory_latency, cfg.memory_energy_nj,
+        cfg.mlp, repr(cfg.dram),
+    )
+    if key not in _RUNNERS:
+        _RUNNERS[key] = ExperimentRunner(cfg)
+    return _RUNNERS[key]
+
+
+def clear_cache() -> None:
+    """Drop memoized runners (frees stream memory between suites)."""
+    _RUNNERS.clear()
+
+
+def paper_schemes(config: SimConfig, include_oracle: bool = True) -> list[SchemeSpec]:
+    """The §V scheme line-up: Base, Oracle, CBF, Phased, ReDHiP."""
+    schemes = [base_scheme()]
+    if include_oracle:
+        schemes.append(oracle_scheme())
+    schemes.append(cbf_scheme())
+    schemes.append(phased_scheme())
+    schemes.append(redhip_scheme(recal_period=config.recal_period))
+    return schemes

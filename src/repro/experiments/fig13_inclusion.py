@@ -1,0 +1,62 @@
+"""Figure 13: ReDHiP's dynamic-energy savings under each inclusion policy.
+
+Each policy is normalized to the *base case of the same policy*, exactly
+as the paper specifies ("comparisons are made between the same cache
+inclusion policies").  Paper findings: hybrid (exclusive privates under an
+inclusive LLC) is indistinguishable from fully inclusive — ReDHiP only
+relies on the LLC-superset property; fully exclusive needs the per-level
+table stack, pays more table overhead and higher per-level staleness,
+losing ~15 points of savings, but still beats its own base by > 40 %.
+
+Inclusive and hybrid run through the two-phase path; exclusive ReDHiP is
+scheme-coupled (per-level tables steer the probe schedule) and runs in the
+integrated simulator.
+"""
+
+from __future__ import annotations
+
+from repro.core.redhip import redhip_scheme
+from repro.hierarchy.inclusion import InclusionPolicy
+from repro.predictors.base import base_scheme
+from repro.experiments.context import get_runner
+from repro.sim.report import ExperimentResult, add_average, format_table
+from repro.workloads import PAPER_WORKLOADS
+
+__all__ = ["run"]
+
+EXPERIMENT_ID = "fig13"
+TITLE = "ReDHiP dynamic-energy savings by inclusion policy"
+
+COLUMNS = ["Inclusive", "Hybrid", "Exclusive"]
+
+
+def run(config=None, workloads=PAPER_WORKLOADS) -> ExperimentResult:
+    runner = get_runner(config)
+    cfg = runner.config
+    series: dict[str, dict[str, float]] = {}
+    for wname in workloads:
+        row: dict[str, float] = {}
+        for policy in (InclusionPolicy.INCLUSIVE, InclusionPolicy.HYBRID):
+            base = runner.run(wname, base_scheme(), policy=policy)
+            red = runner.run(
+                wname, redhip_scheme(recal_period=cfg.recal_period), policy=policy
+            )
+            row[policy.value.capitalize()] = 1.0 - red.dynamic_ratio(base)
+        base_ex = runner.run(wname, base_scheme(), policy=InclusionPolicy.EXCLUSIVE)
+        red_ex = runner.run_exclusive_redhip(wname, recal_period=cfg.recal_period)
+        row["Exclusive"] = 1.0 - red_ex.dynamic_ratio(base_ex)
+        series[wname] = row
+    series = add_average(series)
+    table = format_table(series, COLUMNS, value_format="{:.1%}")
+    avg = series["average"]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        series=series,
+        table=table,
+        notes=(
+            "Paper: hybrid ~= inclusive; exclusive ~15pp lower but still >40% "
+            "savings vs its own base. Measured average savings: "
+            + ", ".join(f"{k}={v:.0%}" for k, v in avg.items())
+        ),
+    )

@@ -1,0 +1,45 @@
+"""Figure 8: the performance-energy metric.
+
+The paper defines the metric as the product of performance gain and total
+energy saving (static + dynamic): a scheme with speedup X and total-energy
+saving Y scores X x Y expressed as (1 + gain) x (1 + saving), so higher is
+better and 1.0 is the base case.  Paper: ReDHiP achieves "by far the best
+trade-off", peaking around 1.3-1.45 per benchmark; CBF and Phased sit well
+below it.  Oracle is excluded (a bound, not a scheme) exactly as in the
+paper's figure.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.context import get_runner, paper_schemes
+from repro.sim.report import (
+    ExperimentResult,
+    add_average,
+    format_table,
+    perf_energy_table,
+)
+from repro.workloads import PAPER_WORKLOADS
+
+__all__ = ["run"]
+
+EXPERIMENT_ID = "fig8"
+TITLE = "Performance-energy metric (speedup x total-energy saving)"
+
+
+def run(config=None, workloads=PAPER_WORKLOADS) -> ExperimentResult:
+    runner = get_runner(config)
+    schemes = paper_schemes(runner.config, include_oracle=False)
+    results = runner.run_matrix(workloads, schemes)
+    series = add_average(perf_energy_table(results))
+    columns = [s.name for s in schemes if s.name != "Base"]
+    table = format_table(series, columns, value_format="{:.3f}")
+    avg = series["average"]
+    best = max(avg, key=avg.get)
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        series=series,
+        table=table,
+        notes=f"Best average metric: {best} ({avg[best]:.3f}); paper: ReDHiP wins by far.",
+        extra={"results": results},
+    )

@@ -1,0 +1,77 @@
+"""Experiment registry: every table/figure id -> runnable experiment.
+
+``run_experiment("fig6")`` regenerates the corresponding paper artifact
+and returns an :class:`repro.sim.report.ExperimentResult`; the benchmark
+harness and the examples both go through this registry, so the set of
+reproducible artifacts is defined in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    ablations,
+    extensions,
+    fig1_history,
+    fig6_speedup,
+    fig7_dynamic_energy,
+    fig8_perf_energy,
+    fig9_fig10_hitrates,
+    fig11_table_size,
+    fig12_recalibration,
+    fig13_inclusion,
+    fig14_15_prefetch,
+    intro_energy_split,
+    table1_params,
+)
+from repro.sim.report import ExperimentResult
+from repro.util.validation import ConfigError
+
+__all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig1": fig1_history.run,
+    "table1": table1_params.run,
+    "intro": intro_energy_split.run,
+    "fig6": fig6_speedup.run,
+    "fig7": fig7_dynamic_energy.run,
+    "fig8": fig8_perf_energy.run,
+    "fig9": fig9_fig10_hitrates.run_fig9,
+    "fig10": fig9_fig10_hitrates.run_fig10,
+    "fig10-delta": fig9_fig10_hitrates.run_delta,
+    "fig11": fig11_table_size.run,
+    "fig12": fig12_recalibration.run,
+    "fig13": fig13_inclusion.run,
+    "fig14-15": fig14_15_prefetch.run,
+    "ext-gating": extensions.run_gating,
+    "ext-missmap": extensions.run_missmap,
+    "ext-cores": extensions.run_core_scaling,
+    "ext-depth": extensions.run_depth_scaling,
+    "ext-sharing": extensions.run_sharing,
+    "ext-reuse": extensions.run_reuse_check,
+    "ext-timing": extensions.run_timing_sensitivity,
+    "ext-relwork": extensions.run_related_work,
+    "ext-nine": extensions.run_nine,
+    "ext-adaptive-recal": extensions.run_adaptive_recal,
+    "ablation-hash": ablations.run_hash_ablation,
+    "ablation-entry-width": ablations.run_entry_width_ablation,
+    "ablation-banking": ablations.run_banking_ablation,
+    "ablation-replacement": ablations.run_replacement_ablation,
+    "ablation-fill-accounting": ablations.run_fill_accounting_ablation,
+}
+
+
+def experiment_ids() -> list[str]:
+    return list(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str, config=None, **kwargs) -> ExperimentResult:
+    """Regenerate one paper artifact by id (``fig6`` ... ``table1``)."""
+    try:
+        fn = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ConfigError(
+            f"unknown experiment {experiment_id!r}; available: {experiment_ids()}"
+        ) from None
+    return fn(config, **kwargs)

@@ -1,0 +1,37 @@
+"""Cache-hierarchy substrate: set-associative caches, replacement policies,
+the multi-core deep hierarchy with inclusive/exclusive/hybrid policies, and
+the event streams the two-phase simulator consumes."""
+
+from repro.hierarchy.banking import BankSchedule
+from repro.hierarchy.events import (
+    EVENT_EVICT,
+    EVENT_FILL,
+    OutcomeRecorder,
+    OutcomeStream,
+)
+from repro.hierarchy.hierarchy import CacheHierarchy
+from repro.hierarchy.inclusion import InclusionPolicy
+from repro.hierarchy.replacement import (
+    BaseCache,
+    CacheStats,
+    LRUCache,
+    PLRUCache,
+    RandomCache,
+    make_cache,
+)
+
+__all__ = [
+    "BankSchedule",
+    "BaseCache",
+    "CacheHierarchy",
+    "CacheStats",
+    "EVENT_EVICT",
+    "EVENT_FILL",
+    "InclusionPolicy",
+    "LRUCache",
+    "OutcomeRecorder",
+    "OutcomeStream",
+    "PLRUCache",
+    "RandomCache",
+    "make_cache",
+]

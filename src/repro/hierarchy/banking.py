@@ -1,0 +1,54 @@
+"""Bank interleaving model for the LLC tag array and the prediction table.
+
+Figure 5 of the paper shows the prediction table banked the same way as the
+LLC tag array, so that one set per bank can be recalibrated per cycle.  This
+module provides the mapping and the sweep schedule the recalibration engine
+uses for its cycle-cost model; the content of the sweep itself is computed
+by :mod:`repro.core.recalibration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.bitops import interleave_bank, is_pow2
+from repro.util.validation import ConfigError
+
+__all__ = ["BankSchedule"]
+
+
+@dataclass(frozen=True)
+class BankSchedule:
+    """Sweep schedule over ``num_sets`` cache sets with ``banks`` banks.
+
+    Sets are low-order interleaved across banks (the common physical
+    layout), so in each sweep cycle the engine processes the ``banks`` sets
+    ``{cycle * banks + b}`` — one from each bank, conflict-free.
+    """
+
+    num_sets: int
+    banks: int
+
+    def __post_init__(self) -> None:
+        if not is_pow2(self.num_sets):
+            raise ConfigError("num_sets must be a power of two")
+        if not is_pow2(self.banks):
+            raise ConfigError("banks must be a power of two")
+        if self.banks > self.num_sets:
+            raise ConfigError("more banks than sets")
+
+    @property
+    def sweep_cycles(self) -> int:
+        """Cycles for a full sweep: one set per bank per cycle."""
+        return self.num_sets // self.banks
+
+    def bank_of(self, set_index: int) -> int:
+        """Bank holding a given set."""
+        return interleave_bank(set_index, self.banks)
+
+    def sets_in_cycle(self, cycle: int) -> range:
+        """The set indices processed in sweep cycle ``cycle``."""
+        if not 0 <= cycle < self.sweep_cycles:
+            raise ConfigError(f"cycle {cycle} outside sweep of {self.sweep_cycles}")
+        start = cycle * self.banks
+        return range(start, start + self.banks)

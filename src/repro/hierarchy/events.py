@@ -1,0 +1,130 @@
+"""Event and outcome recording for the two-phase simulation flow.
+
+The content simulator walks the interleaved multi-core trace once and emits:
+
+* an **outcome stream** — for every access: owning core, block number,
+  write flag, compute gap, and the level that served it (0 = main memory);
+* an **LLC event stream** — chronological fills and evictions of the shared
+  LLC, tagged with the index of the access that caused them.
+
+Those two streams are everything a scheme evaluator needs: which structures
+a scheme probes is a pure function of the outcome + the predictor's answer,
+and every predictor's state (ReDHiP bitmap, CBF counters) is driven solely
+by LLC fills/evictions and recalibration snapshots.
+
+Streams are accumulated in Python lists (append is amortized O(1)) and
+frozen into NumPy arrays at the end of the walk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["EVENT_FILL", "EVENT_EVICT", "OutcomeStream", "OutcomeRecorder"]
+
+#: LLC event opcodes.
+EVENT_FILL = 1
+EVENT_EVICT = 2
+
+#: hit_level value meaning "served by main memory".
+MEMORY_LEVEL = 0
+
+
+@dataclass(frozen=True)
+class OutcomeStream:
+    """Frozen result of one content-simulation walk."""
+
+    core: np.ndarray        # uint16[n]  owning core of each access
+    block: np.ndarray       # uint64[n]  block number (addr >> 6)
+    write: np.ndarray       # bool[n]
+    gap: np.ndarray         # uint32[n]  non-memory instructions before access
+    hit_level: np.ndarray   # int8[n]    1..L, or 0 for memory
+    hit_rank: np.ndarray    # int8[n]    LRU rank at the serving level, -1 on miss
+    llc_when: np.ndarray    # int64[m]   access index of each LLC event
+    llc_op: np.ndarray      # int8[m]    EVENT_FILL / EVENT_EVICT
+    llc_block: np.ndarray   # uint64[m]
+    num_levels: int
+    final_llc_blocks: np.ndarray  # uint64[r] LLC residents after the walk
+
+    @property
+    def num_accesses(self) -> int:
+        return int(len(self.block))
+
+    @property
+    def l1_miss_mask(self) -> np.ndarray:
+        """Boolean mask of accesses that missed in L1 (consult the PT)."""
+        return self.hit_level != 1
+
+    def level_lookups(self, level: int) -> int:
+        """Demand lookups a conventional (no-prediction) walk performs at
+        ``level``: the access reached it iff it missed all shallower levels."""
+        if level == 1:
+            return self.num_accesses
+        reached = (self.hit_level >= level) | (self.hit_level == MEMORY_LEVEL)
+        return int(reached.sum())
+
+    def level_hits(self, level: int) -> int:
+        return int((self.hit_level == level).sum())
+
+    def base_hit_rates(self) -> dict[int, float]:
+        """Per-level hit rates of the base case (Figure 9)."""
+        rates = {}
+        for lvl in range(1, self.num_levels + 1):
+            lookups = self.level_lookups(lvl)
+            rates[lvl] = self.level_hits(lvl) / lookups if lookups else 0.0
+        return rates
+
+
+class OutcomeRecorder:
+    """Accumulates the streams during a content walk and freezes them."""
+
+    def __init__(self, num_levels: int) -> None:
+        self.num_levels = num_levels
+        self._core: list[int] = []
+        self._block: list[int] = []
+        self._write: list[bool] = []
+        self._gap: list[int] = []
+        self._hit_level: list[int] = []
+        self._hit_rank: list[int] = []
+        self._llc_when: list[int] = []
+        self._llc_op: list[int] = []
+        self._llc_block: list[int] = []
+
+    # The hierarchy calls these two during fills/evictions of the LLC.
+    def llc_fill(self, block: int) -> None:
+        self._llc_when.append(len(self._block))
+        self._llc_op.append(EVENT_FILL)
+        self._llc_block.append(block)
+
+    def llc_evict(self, block: int) -> None:
+        self._llc_when.append(len(self._block))
+        self._llc_op.append(EVENT_EVICT)
+        self._llc_block.append(block)
+
+    def record(self, core: int, block: int, write: bool, gap: int,
+               hit_level: int, hit_rank: int = -1) -> None:
+        """Record the outcome of one access (called once per access)."""
+        self._core.append(core)
+        self._block.append(block)
+        self._write.append(write)
+        self._gap.append(gap)
+        self._hit_level.append(hit_level)
+        self._hit_rank.append(hit_rank)
+
+    def freeze(self, final_llc_blocks) -> OutcomeStream:
+        """Convert the accumulated lists into a frozen stream."""
+        return OutcomeStream(
+            core=np.asarray(self._core, dtype=np.uint16),
+            block=np.asarray(self._block, dtype=np.uint64),
+            write=np.asarray(self._write, dtype=bool),
+            gap=np.asarray(self._gap, dtype=np.uint32),
+            hit_level=np.asarray(self._hit_level, dtype=np.int8),
+            hit_rank=np.asarray(self._hit_rank, dtype=np.int8),
+            llc_when=np.asarray(self._llc_when, dtype=np.int64),
+            llc_op=np.asarray(self._llc_op, dtype=np.int8),
+            llc_block=np.asarray(self._llc_block, dtype=np.uint64),
+            num_levels=self.num_levels,
+            final_llc_blocks=np.asarray(sorted(final_llc_blocks), dtype=np.uint64),
+        )

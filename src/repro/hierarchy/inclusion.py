@@ -1,0 +1,65 @@
+"""Inclusion policies (§III-C of the paper).
+
+``INCLUSIVE``
+    Every level contains all data of the levels above it (L4 ⊇ L3 ⊇ L2 ⊇
+    L1 per core).  Enforced by back-invalidation: when a level evicts a
+    block, all shallower copies are invalidated.  This is the property
+    ReDHiP's no-false-negative guarantee rests on: *absent from the LLC*
+    implies *absent from every cache*.
+
+``EXCLUSIVE``
+    Levels hold disjoint data; lower levels act as victim caches.  A hit at
+    a lower level moves the block to L1 and a victim chain trickles blocks
+    downward.  ReDHiP then needs one prediction table per level below L1
+    (:class:`repro.core.exclusive.ExclusiveReDHiP`).
+
+``HYBRID``
+    The realistic middle ground the paper evaluates: private L1–L3 are
+    exclusive among themselves, but everything is inclusive with the shared
+    L4.  The LLC invariant still holds, so the single-table ReDHiP design
+    works unchanged — which is exactly the point of Figure 13.
+
+``NINE``
+    Non-inclusive, non-exclusive — the other common real-LLC policy,
+    implemented here as a counter-example: fills populate every level on
+    the fetch path, but LLC evictions do *not* back-invalidate, so private
+    copies outlive their LLC line and "absent from the LLC" stops implying
+    "absent on chip".  A single-table ReDHiP would serve stale data; the
+    hierarchy counts these would-be violations so the ``ext-nine``
+    experiment can quantify how load-bearing §III's inclusion assumption
+    is.  Predictor schemes are structurally refused on this policy.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["InclusionPolicy"]
+
+
+class InclusionPolicy(str, Enum):
+    """Hierarchy inclusion policy."""
+
+    INCLUSIVE = "inclusive"
+    EXCLUSIVE = "exclusive"
+    HYBRID = "hybrid"
+    NINE = "nine"
+
+    @classmethod
+    def parse(cls, value: "str | InclusionPolicy") -> "InclusionPolicy":
+        """Accept either the enum or its string value."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise ValueError(
+                f"unknown inclusion policy {value!r}; "
+                f"expected one of {[p.value for p in cls]}"
+            ) from None
+
+    @property
+    def llc_is_superset(self) -> bool:
+        """Does the LLC contain every on-chip block?  True for the policies
+        where a single LLC-side prediction table suffices."""
+        return self in (InclusionPolicy.INCLUSIVE, InclusionPolicy.HYBRID)

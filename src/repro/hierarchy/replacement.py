@@ -1,0 +1,344 @@
+"""Replacement policies for the set-associative cache model.
+
+The paper's hierarchy uses LRU everywhere; :class:`LRUCache` is therefore
+the fast default, implemented as MRU-first Python lists (``list.index`` on a
+<= 16-element list runs in C and beats any pure-Python bookkeeping).  Random
+and tree-PLRU variants are provided for the replacement-policy ablation
+bench — they reuse the same interface so the hierarchy code is agnostic.
+
+A *block number* everywhere below is the 64-bit byte address shifted right
+by the 6 block-offset bits.  The set index is the low ``k`` bits of the
+block number, exactly the layout of Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.energy.params import CacheLevelParams
+from repro.util.rng import make_rng
+from repro.util.validation import ConfigError
+
+__all__ = ["CacheStats", "BaseCache", "LRUCache", "RandomCache", "PLRUCache", "make_cache"]
+
+
+class CacheStats:
+    """Mutable per-cache counters.
+
+    ``lookups``/``hits`` count demand probes only; fills, evictions and
+    back-invalidations are tracked separately so hit rates are unaffected by
+    inclusion housekeeping.
+    """
+
+    __slots__ = ("lookups", "hits", "fills", "evictions", "invalidations", "writebacks")
+
+    def __init__(self) -> None:
+        self.lookups = 0
+        self.hits = 0
+        self.fills = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.writebacks = 0
+
+    @property
+    def misses(self) -> int:
+        return self.lookups - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "fills": self.fills,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "writebacks": self.writebacks,
+        }
+
+
+class BaseCache:
+    """Common state and bookkeeping for all replacement policies.
+
+    Subclasses implement :meth:`probe`, :meth:`insert` and
+    :meth:`invalidate`; everything else (stats, dirty tracking, resident-set
+    iteration used by recalibration) is shared.
+
+    ``last_hit_rank`` records the recency rank (0 = MRU) of the block the
+    most recent :meth:`probe` hit, or -1 on a miss — the signal MRU-way
+    prediction schemes key on.
+    """
+
+    __slots__ = ("name", "num_sets", "assoc", "set_mask", "stats", "_dirty",
+                 "last_hit_rank")
+
+    def __init__(self, params: CacheLevelParams, name: Optional[str] = None) -> None:
+        self.name = name or params.name
+        self.num_sets = params.num_sets
+        self.assoc = params.assoc
+        self.set_mask = self.num_sets - 1
+        self.stats = CacheStats()
+        self._dirty: set[int] = set()
+        self.last_hit_rank = -1
+
+    # -- policy interface ---------------------------------------------------
+    def probe(self, block: int, update: bool = True) -> bool:
+        """Demand lookup.  Returns hit/miss and (if ``update``) touches
+        replacement state.  Counts toward hit-rate statistics."""
+        raise NotImplementedError
+
+    def insert(self, block: int, dirty: bool = False) -> Optional[tuple[int, bool]]:
+        """Install ``block``; return the evicted ``(block, dirty)`` victim,
+        or ``None`` when the set had room or the block was already present."""
+        raise NotImplementedError
+
+    def invalidate(self, block: int) -> tuple[bool, bool]:
+        """Remove ``block`` if present.  Returns ``(was_present, was_dirty)``.
+        Used for inclusive back-invalidation and exclusive hit-removal."""
+        raise NotImplementedError
+
+    def set_blocks(self, set_index: int) -> list[int]:
+        """Blocks currently resident in one set (order unspecified)."""
+        raise NotImplementedError
+
+    # -- shared helpers -----------------------------------------------------
+    def set_of(self, block: int) -> int:
+        return block & self.set_mask
+
+    def contains(self, block: int) -> bool:
+        """Presence test without touching replacement state or stats."""
+        return block in self.set_blocks(self.set_of(block))
+
+    def mark_dirty(self, block: int) -> None:
+        """Set the dirty bit of a resident block (store hit)."""
+        self._dirty.add(block)
+
+    def is_dirty(self, block: int) -> bool:
+        return block in self._dirty
+
+    def resident_blocks(self):
+        """Iterate every resident block (recalibration source)."""
+        for s in range(self.num_sets):
+            yield from self.set_blocks(s)
+
+    def occupancy(self) -> int:
+        """Number of resident lines."""
+        return sum(len(self.set_blocks(s)) for s in range(self.num_sets))
+
+    def _note_eviction(self, victim: int) -> tuple[int, bool]:
+        self.stats.evictions += 1
+        dirty = victim in self._dirty
+        if dirty:
+            self._dirty.discard(victim)
+            self.stats.writebacks += 1
+        return victim, dirty
+
+
+class LRUCache(BaseCache):
+    """True-LRU cache; sets are MRU-first lists."""
+
+    __slots__ = ("_sets",)
+
+    def __init__(self, params: CacheLevelParams, name: Optional[str] = None) -> None:
+        super().__init__(params, name)
+        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+
+    def probe(self, block: int, update: bool = True) -> bool:
+        lst = self._sets[block & self.set_mask]
+        self.stats.lookups += 1
+        if lst and lst[0] == block:
+            self.stats.hits += 1
+            self.last_hit_rank = 0
+            return True
+        try:
+            i = lst.index(block)
+        except ValueError:
+            self.last_hit_rank = -1
+            return False
+        self.stats.hits += 1
+        self.last_hit_rank = i
+        if update:
+            del lst[i]
+            lst.insert(0, block)
+        return True
+
+    def insert(self, block: int, dirty: bool = False) -> Optional[tuple[int, bool]]:
+        lst = self._sets[block & self.set_mask]
+        if block in lst:
+            # Refill of a resident block: refresh recency and dirtiness.
+            if lst[0] != block:
+                lst.remove(block)
+                lst.insert(0, block)
+            if dirty:
+                self._dirty.add(block)
+            return None
+        self.stats.fills += 1
+        lst.insert(0, block)
+        if dirty:
+            self._dirty.add(block)
+        if len(lst) > self.assoc:
+            return self._note_eviction(lst.pop())
+        return None
+
+    def invalidate(self, block: int) -> tuple[bool, bool]:
+        lst = self._sets[block & self.set_mask]
+        if block not in lst:
+            return False, False
+        lst.remove(block)
+        self.stats.invalidations += 1
+        dirty = block in self._dirty
+        if dirty:
+            self._dirty.discard(block)
+        return True, dirty
+
+    def set_blocks(self, set_index: int) -> list[int]:
+        return self._sets[set_index]
+
+
+class RandomCache(LRUCache):
+    """Random replacement: victims are drawn uniformly from the set.
+
+    Inherits the list layout of :class:`LRUCache` (recency order is simply
+    ignored when choosing the victim).
+    """
+
+    __slots__ = ("_rng",)
+
+    def __init__(self, params: CacheLevelParams, name: Optional[str] = None, seed: int = 0) -> None:
+        super().__init__(params, name)
+        self._rng = make_rng(seed, f"random-repl-{self.name}")
+
+    def insert(self, block: int, dirty: bool = False) -> Optional[tuple[int, bool]]:
+        lst = self._sets[block & self.set_mask]
+        if block in lst:
+            if dirty:
+                self._dirty.add(block)
+            return None
+        self.stats.fills += 1
+        lst.insert(0, block)
+        if dirty:
+            self._dirty.add(block)
+        if len(lst) > self.assoc:
+            victim_pos = 1 + int(self._rng.integers(len(lst) - 1))
+            return self._note_eviction(lst.pop(victim_pos))
+        return None
+
+
+class PLRUCache(BaseCache):
+    """Tree-PLRU: the standard binary-tree pseudo-LRU approximation.
+
+    Ways are fixed slots; a per-set bit-tree of ``assoc - 1`` internal nodes
+    points away from the most recently used leaf.  Included for the
+    replacement ablation; a property test checks it never evicts the way
+    touched immediately before.
+    """
+
+    __slots__ = ("_ways", "_tree", "_levels")
+
+    def __init__(self, params: CacheLevelParams, name: Optional[str] = None) -> None:
+        super().__init__(params, name)
+        if params.assoc & (params.assoc - 1):
+            raise ConfigError("PLRU requires power-of-two associativity")
+        self._levels = params.assoc.bit_length() - 1
+        self._ways: list[list[Optional[int]]] = [
+            [None] * self.assoc for _ in range(self.num_sets)
+        ]
+        # Node layout: implicit heap, node 1 is the root.
+        self._tree = np.zeros((self.num_sets, max(1, self.assoc)), dtype=np.uint8)
+
+    def _touch(self, set_index: int, way: int) -> None:
+        """Flip tree bits so they point away from ``way``."""
+        tree = self._tree[set_index]
+        node = 1
+        for level in range(self._levels):
+            bit = (way >> (self._levels - 1 - level)) & 1
+            tree[node] = 1 - bit
+            node = 2 * node + bit
+
+    def _victim_way(self, set_index: int) -> int:
+        tree = self._tree[set_index]
+        node = 1
+        way = 0
+        for _ in range(self._levels):
+            bit = int(tree[node])
+            way = (way << 1) | bit
+            node = 2 * node + bit
+        return way
+
+    def probe(self, block: int, update: bool = True) -> bool:
+        s = block & self.set_mask
+        ways = self._ways[s]
+        self.stats.lookups += 1
+        try:
+            way = ways.index(block)
+        except ValueError:
+            self.last_hit_rank = -1
+            return False
+        self.stats.hits += 1
+        # For PLRU the "rank" reported is the physical way index — the
+        # MRU-way signal proper is only defined for true LRU.
+        self.last_hit_rank = way
+        if update:
+            self._touch(s, way)
+        return True
+
+    def insert(self, block: int, dirty: bool = False) -> Optional[tuple[int, bool]]:
+        s = block & self.set_mask
+        ways = self._ways[s]
+        if block in ways:
+            if dirty:
+                self._dirty.add(block)
+            self._touch(s, ways.index(block))
+            return None
+        self.stats.fills += 1
+        if dirty:
+            self._dirty.add(block)
+        if None in ways:
+            way = ways.index(None)
+            ways[way] = block
+            self._touch(s, way)
+            return None
+        way = self._victim_way(s)
+        victim = ways[way]
+        ways[way] = block
+        self._touch(s, way)
+        assert victim is not None
+        return self._note_eviction(victim)
+
+    def invalidate(self, block: int) -> tuple[bool, bool]:
+        s = block & self.set_mask
+        ways = self._ways[s]
+        try:
+            way = ways.index(block)
+        except ValueError:
+            return False, False
+        ways[way] = None
+        self.stats.invalidations += 1
+        dirty = block in self._dirty
+        if dirty:
+            self._dirty.discard(block)
+        return True, dirty
+
+    def set_blocks(self, set_index: int) -> list[int]:
+        return [b for b in self._ways[set_index] if b is not None]
+
+
+def make_cache(
+    params: CacheLevelParams,
+    policy: str = "lru",
+    name: Optional[str] = None,
+    seed: int = 0,
+) -> BaseCache:
+    """Factory: build a cache with the requested replacement policy."""
+    if policy == "lru":
+        return LRUCache(params, name)
+    if policy == "random":
+        return RandomCache(params, name, seed=seed)
+    if policy == "plru":
+        return PLRUCache(params, name)
+    raise ConfigError(f"unknown replacement policy {policy!r}")

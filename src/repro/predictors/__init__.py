@@ -1,0 +1,42 @@
+"""Comparison schemes of §V: base, Phased Cache, counting-Bloom-filter
+prediction and the Oracle bound — plus the hash-function library they and
+ReDHiP share."""
+
+from repro.predictors.base import (
+    PresencePredictor,
+    SchemeSpec,
+    base_scheme,
+    oracle_scheme,
+    phased_scheme,
+    waypred_scheme,
+)
+from repro.predictors.bloom import BloomFilter, CountingBloomFilter
+from repro.predictors.cbf_scheme import CBFPredictor, cbf_scheme
+from repro.predictors.missmap import MissMapPredictor, missmap_scheme
+from repro.predictors.hashes import (
+    bits_hash,
+    bits_hash_array,
+    make_hash,
+    xor_hash,
+    xor_hash_array,
+)
+
+__all__ = [
+    "BloomFilter",
+    "CBFPredictor",
+    "CountingBloomFilter",
+    "PresencePredictor",
+    "SchemeSpec",
+    "base_scheme",
+    "bits_hash",
+    "bits_hash_array",
+    "cbf_scheme",
+    "make_hash",
+    "missmap_scheme",
+    "MissMapPredictor",
+    "oracle_scheme",
+    "phased_scheme",
+    "waypred_scheme",
+    "xor_hash",
+    "xor_hash_array",
+]

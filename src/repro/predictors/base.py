@@ -1,0 +1,190 @@
+"""Scheme abstraction shared by the two-phase evaluator and the integrated
+simulator.
+
+A *scheme* is one of the five configurations compared in §V:
+
+* ``base`` — no prediction, parallel tag+data probes at every level;
+* ``phased`` — no prediction, tag-then-data serial probes at the large
+  lower levels (L3/L4), per Phased Cache [11], [12];
+* ``predictor`` — a :class:`PresencePredictor` is consulted after every L1
+  miss and a predicted LLC miss skips all lower levels (CBF and ReDHiP);
+* ``oracle`` — a perfect, zero-overhead LLC-presence predictor (upper
+  bound, "not an actual scheme");
+* ``waypred`` — MRU-way prediction at the large lower levels (per the
+  way-predicting caches of [12] cited in §II): each probe reads the tag
+  array plus a *single* speculative data way; a non-MRU hit pays a second
+  serialized data access.  An energy alternative that, unlike ReDHiP,
+  cannot skip levels entirely.
+
+The scheme object carries *what to build and how to charge it*; the actual
+latency/energy arithmetic lives in :mod:`repro.sim.evaluate` so both
+simulation paths charge identically.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.energy.params import MachineConfig
+from repro.util.validation import ConfigError
+
+__all__ = [
+    "PresencePredictor",
+    "SchemeSpec",
+    "base_scheme",
+    "phased_scheme",
+    "oracle_scheme",
+    "waypred_scheme",
+]
+
+
+class PresencePredictor(ABC):
+    """Predicts whether a block is present in the LLC.
+
+    Consulted once per L1 miss; updated on every LLC fill and eviction.
+    Implementations must be *conservative*: a ``False`` answer (predicted
+    miss) must never be wrong, because the access is then sent straight to
+    memory without probing any cache.  The evaluator enforces this with an
+    assertion against the ground-truth outcome.
+    """
+
+    #: Human-readable name used in reports.
+    name: str = "predictor"
+
+    #: Whether the most recent :meth:`predict_present` actually consulted
+    #: the hardware table.  Gated predictors (see
+    #: :class:`repro.core.gating.GatedReDHiP`) answer "present" without a
+    #: lookup while disabled; the evaluators read this flag to charge the
+    #: lookup delay/energy only for real consults.
+    last_consulted: bool = True
+
+    @abstractmethod
+    def predict_present(self, block: int) -> bool:
+        """Answer the L1 miss: could ``block`` be in the LLC?"""
+
+    @abstractmethod
+    def on_llc_fill(self, block: int) -> None:
+        """The LLC installed ``block`` (memory fetch completed)."""
+
+    @abstractmethod
+    def on_llc_evict(self, block: int) -> None:
+        """The LLC evicted ``block``."""
+
+    def note_l1_miss(self) -> int:
+        """Advance the predictor's notion of time; returns stall cycles
+        spent on maintenance (recalibration) triggered by this miss."""
+        return 0
+
+    def maintenance_energy_nj(self) -> float:
+        """Total maintenance (recalibration) energy consumed so far."""
+        return 0.0
+
+    def stats(self) -> dict[str, float]:
+        """Implementation-specific telemetry merged into scheme stats."""
+        return {}
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """Declarative description of one scheme.
+
+    ``make_predictor`` builds a fresh predictor instance for a run (state
+    is never shared between runs); ``lookup_energy_nj``/``lookup_delay``
+    default to the machine's prediction-table parameters at evaluation time
+    when left ``None`` — the paper gives CBF the same area budget and hence
+    the same table access cost.
+    """
+
+    name: str
+    kind: str  # "base" | "phased" | "predictor" | "oracle" | "waypred"
+    phased_levels: tuple[int, ...] = ()
+    way_predicted_levels: tuple[int, ...] = ()
+    make_predictor: Optional[Callable[[MachineConfig], PresencePredictor]] = None
+    lookup_energy_nj: Optional[float] = None
+    lookup_delay: Optional[int] = None
+    notes: str = ""
+    extra: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("base", "phased", "predictor", "oracle", "waypred"):
+            raise ConfigError(f"unknown scheme kind {self.kind!r}")
+        if self.kind == "predictor" and self.make_predictor is None:
+            raise ConfigError(f"scheme {self.name!r}: predictor kind needs make_predictor")
+        if self.kind != "predictor" and self.make_predictor is not None:
+            raise ConfigError(f"scheme {self.name!r}: only predictor kind takes make_predictor")
+        if self.kind == "phased" and not self.phased_levels:
+            raise ConfigError("phased scheme needs at least one phased level")
+        if self.kind == "waypred" and not self.way_predicted_levels:
+            raise ConfigError("waypred scheme needs at least one way-predicted level")
+
+    @property
+    def consults_table(self) -> bool:
+        """Does an L1 miss pay a table lookup (energy + wire delay)?"""
+        return self.kind == "predictor"
+
+    @property
+    def skips_on_predicted_miss(self) -> bool:
+        return self.kind in ("predictor", "oracle")
+
+    def build_predictor(self, machine: MachineConfig) -> Optional[PresencePredictor]:
+        """Instantiate run-local predictor state (or None)."""
+        if self.make_predictor is None:
+            return None
+        return self.make_predictor(machine)
+
+    def resolve_lookup_energy(self, machine: MachineConfig) -> float:
+        if self.lookup_energy_nj is not None:
+            return self.lookup_energy_nj
+        return machine.prediction_table.access_energy
+
+    def resolve_lookup_delay(self, machine: MachineConfig) -> int:
+        if self.lookup_delay is not None:
+            return self.lookup_delay
+        return machine.prediction_table.lookup_delay
+
+
+def base_scheme() -> SchemeSpec:
+    """The normalization baseline: parallel probes, no prediction."""
+    return SchemeSpec(
+        name="Base",
+        kind="base",
+        notes="Parallel tag+data at all levels; no prediction (§IV).",
+    )
+
+
+def phased_scheme(levels: tuple[int, ...] = (3, 4)) -> SchemeSpec:
+    """Phased Cache applied to the large lower levels (paper: L3 and L4)."""
+    return SchemeSpec(
+        name="Phased",
+        kind="phased",
+        phased_levels=tuple(sorted(levels)),
+        notes="Serial tag->data at L3/L4: tag energy always, data only on hit.",
+    )
+
+
+def oracle_scheme() -> SchemeSpec:
+    """Perfect zero-overhead LLC presence knowledge (upper bound)."""
+    return SchemeSpec(
+        name="Oracle",
+        kind="oracle",
+        notes="Always-correct LLC presence prediction with no overhead.",
+    )
+
+
+def waypred_scheme(levels: tuple[int, ...] = (3, 4)) -> SchemeSpec:
+    """MRU-way prediction at the large lower levels (per [12]).
+
+    Each probe fires the full tag array plus one speculative data way
+    (``data_energy / assoc``); an MRU hit completes at the normal access
+    delay, a non-MRU hit pays one extra serialized data-way access, and a
+    miss resolves at the tag like every other scheme.
+    """
+    return SchemeSpec(
+        name="WayPred",
+        kind="waypred",
+        way_predicted_levels=tuple(sorted(levels)),
+        notes="MRU-way prediction: tag + one data way per probe; non-MRU "
+        "hits pay a second data access.",
+    )

@@ -1,0 +1,14 @@
+"""Hardware stride prefetching substrate (§V-C): the classic RPT-based
+stride prefetcher and its ReDHiP-filtered probe path."""
+
+from repro.prefetch.rpt import RPT, STATE_INITIAL, STATE_STEADY, STATE_TRANSIENT
+from repro.prefetch.stride import PrefetchStats, StridePrefetcher
+
+__all__ = [
+    "PrefetchStats",
+    "RPT",
+    "STATE_INITIAL",
+    "STATE_STEADY",
+    "STATE_TRANSIENT",
+    "StridePrefetcher",
+]

@@ -1,0 +1,104 @@
+"""The Reference Prediction Table (RPT) of the classic stride prefetcher.
+
+Fu, Patel and Janssens' stride-directed prefetching [8] keeps, per load
+PC, the last address, the last observed stride and a two-bit confidence
+state machine (the classic four-state RPT formulation):
+
+    INITIAL   --match--> STEADY      --break--> INITIAL (new stride)
+    INITIAL   --break--> TRANSIENT   (learn the new stride)
+    TRANSIENT --match--> STEADY      --break--> NOPRED
+    NOPRED    --match--> TRANSIENT   --break--> NOPRED
+
+Only STEADY entries with a non-zero stride issue prefetches.  The table is direct-mapped on PC
+bits with a tag check; the paper sizes it "large enough so that its
+accuracy is comparable with the best prefetching techniques", so the
+default is generously large (4096 entries) and misses are rare.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.bitops import ilog2
+from repro.util.validation import check_pow2
+
+__all__ = ["RPT", "STATE_INITIAL", "STATE_TRANSIENT", "STATE_STEADY", "STATE_NOPRED"]
+
+STATE_INITIAL = 0
+STATE_TRANSIENT = 1
+STATE_STEADY = 2
+STATE_NOPRED = 3
+
+
+class RPT:
+    """Direct-mapped reference prediction table.
+
+    All state lives in parallel NumPy arrays; :meth:`observe` is scalar
+    (the training stream — L1 misses — is sparse) but allocation-free.
+    """
+
+    def __init__(self, entries: int = 4096) -> None:
+        check_pow2("entries", entries)
+        self.entries = entries
+        self.index_bits = ilog2(entries)
+        self._mask = entries - 1
+        self.tag = np.full(entries, -1, dtype=np.int64)
+        self.prev_addr = np.zeros(entries, dtype=np.int64)
+        self.stride = np.zeros(entries, dtype=np.int64)
+        self.state = np.zeros(entries, dtype=np.int8)
+        # Telemetry.
+        self.trainings = 0
+        self.conflicts = 0
+
+    def observe(self, pc: int, addr: int) -> int | None:
+        """Train on one (pc, addr) reference.
+
+        Returns the predicted *next* address when the entry is STEADY with
+        a non-zero stride, else ``None``.
+        """
+        self.trainings += 1
+        idx = (pc >> 2) & self._mask  # drop instruction alignment bits
+        if self.tag[idx] != pc:
+            if self.tag[idx] != -1:
+                self.conflicts += 1
+            self.tag[idx] = pc
+            self.prev_addr[idx] = addr
+            self.stride[idx] = 0
+            self.state[idx] = STATE_INITIAL
+            return None
+        new_stride = addr - int(self.prev_addr[idx])
+        self.prev_addr[idx] = addr
+        match = new_stride == int(self.stride[idx])
+        state = int(self.state[idx])
+        # Chen/Baer-style four-state confidence machine.
+        if state == STATE_STEADY:
+            if not match:
+                self.state[idx] = STATE_INITIAL
+                self.stride[idx] = new_stride
+        elif state == STATE_INITIAL:
+            if match:
+                self.state[idx] = STATE_STEADY
+            else:
+                self.state[idx] = STATE_TRANSIENT
+                self.stride[idx] = new_stride
+        elif state == STATE_TRANSIENT:
+            if match:
+                self.state[idx] = STATE_STEADY
+            else:
+                self.state[idx] = STATE_NOPRED
+                self.stride[idx] = new_stride
+        else:  # STATE_NOPRED
+            if match:
+                self.state[idx] = STATE_TRANSIENT
+            else:
+                self.stride[idx] = new_stride
+        if self.state[idx] == STATE_STEADY and self.stride[idx] != 0:
+            return addr + int(self.stride[idx])
+        return None
+
+    def steady_fraction(self) -> float:
+        """Fraction of valid entries in STEADY state (accuracy proxy)."""
+        valid = self.tag != -1
+        if not valid.any():
+            return 0.0
+        return float((self.state[valid] == STATE_STEADY).mean())

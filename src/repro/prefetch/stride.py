@@ -1,0 +1,97 @@
+"""The hardware stride prefetcher used in §V-C (Figures 14/15).
+
+Design choices mirror what the paper describes: a simple RPT-based stride
+prefetcher [8] — an L1-side mechanism, as in the original proposal — with
+a generously sized table, trained on the L1 miss stream, issuing
+block-granular prefetches that fill all the way into L1 (a successful
+prefetch turns the next strided demand into an L1 hit, which is what makes
+the speedups of §V-C additive with ReDHiP's).  ``degree`` controls how
+many consecutive strided blocks one trigger fetches.
+
+The prefetcher is only exercised by the integrated simulator, since
+prefetching changes cache contents and therefore invalidates the shared
+content trajectory that the two-phase flow relies on.
+
+Energy interaction with ReDHiP (the point of §V-C): each prefetch request
+normally probes L2→LLC before fetching; when ReDHiP filtering is enabled
+the prefetch first consults the prediction table and skips all probes for
+predicted-miss blocks — the same skip demand accesses get.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.energy.params import BLOCK_BITS
+from repro.prefetch.rpt import RPT
+from repro.util.validation import check_positive, check_range
+
+__all__ = ["StridePrefetcher", "PrefetchStats"]
+
+
+@dataclass
+class PrefetchStats:
+    """Telemetry for the prefetch experiments."""
+
+    issued: int = 0
+    dropped_duplicate: int = 0
+    useful: int = 0       # demand L1 misses later served by L2 fills we made
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def accuracy(self) -> float:
+        return self.useful / self.issued if self.issued else 0.0
+
+
+class StridePrefetcher:
+    """Per-core stride prefetcher with an in-flight duplicate filter."""
+
+    def __init__(self, entries: int = 4096, degree: int = 1) -> None:
+        check_positive("degree", degree)
+        check_range("degree", degree, 1, 8)
+        self.rpt = RPT(entries)
+        self.degree = degree
+        self.stats = PrefetchStats()
+        # Recently issued prefetch blocks, to suppress duplicate requests
+        # (a small MSHR-like window, kept bounded).
+        self._recent: dict[int, None] = {}
+        self._recent_cap = 256
+        # Blocks we prefetched and that have not yet been demanded —
+        # consumed by the simulator to compute usefulness.
+        self.pending: set[int] = set()
+
+    def train(self, pc: int, addr: int) -> list[int]:
+        """Train on one demand L1 miss; return block numbers to prefetch."""
+        nxt = self.rpt.observe(pc, addr)
+        if nxt is None:
+            return []
+        stride = nxt - addr
+        out: list[int] = []
+        demand_block = addr >> BLOCK_BITS
+        for d in range(1, self.degree + 1):
+            target = nxt + (d - 1) * stride
+            block = target >> BLOCK_BITS
+            if block == demand_block:
+                continue
+            if block in self._recent:
+                self.stats.dropped_duplicate += 1
+                continue
+            self._note_recent(block)
+            out.append(block)
+        return out
+
+    def _note_recent(self, block: int) -> None:
+        self._recent[block] = None
+        if len(self._recent) > self._recent_cap:
+            # Drop the oldest entry (dict preserves insertion order).
+            self._recent.pop(next(iter(self._recent)))
+
+    def mark_issued(self, block: int) -> None:
+        self.stats.issued += 1
+        self.pending.add(block)
+
+    def note_demand(self, block: int) -> None:
+        """A demand access touched ``block``; credit a pending prefetch."""
+        if block in self.pending:
+            self.pending.discard(block)
+            self.stats.useful += 1

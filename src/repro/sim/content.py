@@ -1,0 +1,114 @@
+"""Phase 1: the content simulation.
+
+Walks a multi-core workload through the cache hierarchy once and records
+the outcome stream (which level served each access) plus the LLC event
+stream (fills/evictions).  Because prediction schemes never change what is
+*filled* — only what is *probed* — this single walk is scheme-independent
+for a given (workload, machine, inclusion policy); every scheme evaluator
+then replays the streams (see :mod:`repro.sim.evaluate`).
+
+Core interleaving follows §IV's timing model: each core advances by its
+compute gaps (at its application CPI) plus a nominal per-access memory
+cost, and accesses are merged in virtual-time order.  The nominal cost is
+a constant — the *exact* per-access latency is scheme-dependent and would
+create a circular dependency; the paper's own trace-driven methodology has
+the same property ("the relative order of memory references is precise
+enough to simulate realistic cache behaviors").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hierarchy.events import OutcomeRecorder, OutcomeStream
+from repro.hierarchy.hierarchy import CacheHierarchy
+from repro.sim.config import SimConfig
+from repro.util.validation import ConfigError
+from repro.workloads.trace import Workload
+
+__all__ = ["ContentSimulator", "merge_order"]
+
+#: Nominal memory cycles per access used only for interleaving.
+NOMINAL_ACCESS_CYCLES = 5.0
+
+
+def merge_order(workload: Workload) -> tuple[np.ndarray, np.ndarray]:
+    """Global access order across cores by virtual time.
+
+    Returns ``(core_of_access, index_within_core)`` arrays of the merged
+    order.  Deterministic: ties break by core id (stable mergesort).
+    """
+    vtimes = []
+    cores = []
+    idxs = []
+    for core, trace in enumerate(workload.traces):
+        cost = trace.gap.astype(np.float64) * trace.cpi + NOMINAL_ACCESS_CYCLES
+        vt = np.cumsum(cost)
+        vtimes.append(vt)
+        cores.append(np.full(trace.num_refs, core, dtype=np.int64))
+        idxs.append(np.arange(trace.num_refs, dtype=np.int64))
+    all_vt = np.concatenate(vtimes)
+    all_core = np.concatenate(cores)
+    all_idx = np.concatenate(idxs)
+    order = np.argsort(all_vt, kind="stable")
+    return all_core[order], all_idx[order]
+
+
+class ContentSimulator:
+    """Runs the content walk and freezes the outcome stream."""
+
+    def __init__(self, config: SimConfig) -> None:
+        self.config = config
+
+    def run(self, workload: Workload) -> OutcomeStream:
+        cfg = self.config
+        if workload.cores != cfg.machine.cores:
+            raise ConfigError(
+                f"workload has {workload.cores} traces but machine "
+                f"{cfg.machine.name!r} has {cfg.machine.cores} cores"
+            )
+        recorder = OutcomeRecorder(num_levels=cfg.machine.num_levels)
+        llc_level = cfg.machine.num_levels
+
+        def on_fill(level: int, block: int) -> None:
+            if level == llc_level:
+                recorder.llc_fill(block)
+
+        def on_evict(level: int, block: int) -> None:
+            if level == llc_level:
+                recorder.llc_evict(block)
+
+        hierarchy_cls = CacheHierarchy
+        if cfg.coherent:
+            from repro.hierarchy.coherence import CoherentHierarchy
+
+            hierarchy_cls = CoherentHierarchy
+        hier = hierarchy_cls(
+            cfg.machine,
+            policy=cfg.policy,
+            replacement=cfg.replacement,
+            on_fill=on_fill,
+            on_evict=on_evict,
+            seed=cfg.seed,
+        )
+
+        merged_core, merged_idx = merge_order(workload)
+
+        # Pre-extract per-core python lists: iterating numpy scalars is
+        # several times slower than list iteration in the hot loop.
+        blocks = [t.blocks.tolist() for t in workload.traces]
+        writes = [t.write.tolist() for t in workload.traces]
+        gaps = [t.gap.tolist() for t in workload.traces]
+
+        access = hier.access
+        record = recorder.record
+        for core, idx in zip(merged_core.tolist(), merged_idx.tolist()):
+            block = blocks[core][idx]
+            write = writes[core][idx]
+            hit_level = access(core, block, write)
+            record(core, block, write, gaps[core][idx], hit_level,
+                   hier.last_hit_rank)
+
+        stream = recorder.freeze(hier.llc_resident_blocks())
+        self._last_hierarchy = hier  # kept for tests/inspection
+        return stream

@@ -1,0 +1,341 @@
+"""Phase 2: scheme evaluation over a frozen outcome stream.
+
+Given the scheme-independent content trajectory from
+:mod:`repro.sim.content`, this module attributes latency and energy to one
+scheme.  The charging policy (identical in the integrated simulator):
+
+Latency per access
+    * every access pays the L1 access delay;
+    * predictor schemes add the prediction-table lookup delay (SRAM + wire)
+      to every L1 miss — "a delay between the L1 and L2 accesses" (§III);
+    * each probed level costs its data delay on a hit and its *tag* delay
+      on a miss (a parallel access discovers the miss at tag-compare time);
+      phased levels cost tag+data on a hit (serialized) and tag on a miss;
+    * main memory is free (§IV) — all gains come from skipped lookups.
+
+Dynamic energy per access
+    * a parallel probe fires both arrays regardless of outcome (the waste
+      ReDHiP eliminates); a phased probe fires tag always, data on hit;
+    * predictor schemes pay a table access per L1-miss lookup and per
+      table update, plus recalibration sweep energy;
+    * the Oracle pays nothing (a bound, "not an actual scheme").
+
+A predicted LLC miss skips every level below L1: no probes, no latency
+beyond L1 + table, straight to (free) memory.  False negatives are
+structurally impossible for the shipped predictors; the evaluator enforces
+this with a hard error, because a silent false negative would mean serving
+stale data in real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.energy.accounting import CostTable, EnergyLedger, StaticEnergyModel
+from repro.energy.params import MachineConfig
+from repro.energy.timing import TimingModel, TimingResult
+from repro.hierarchy.events import EVENT_FILL, OutcomeStream
+from repro.predictors.base import PresencePredictor, SchemeSpec
+from repro.util.validation import ReproError
+from repro.workloads.trace import Workload
+
+__all__ = ["SchemeResult", "evaluate_scheme", "replay_predictor"]
+
+
+@dataclass
+class SchemeResult:
+    """Aggregated outcome of one (workload, scheme) evaluation."""
+
+    scheme: str
+    workload: str
+    machine: str
+    timing: TimingResult
+    ledger: EnergyLedger
+    static_nj: float
+    hit_rates: dict[int, float]
+    level_lookups: dict[int, int]
+    level_hits: dict[int, int]
+    l1_misses: int = 0
+    skips: int = 0                 # predicted-miss accesses sent to memory
+    false_positives: int = 0       # predicted present but absent everywhere
+    true_misses: int = 0           # accesses served by memory
+    recal_stall_cycles: float = 0.0
+    predictor_stats: dict = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def exec_cycles(self) -> float:
+        return self.timing.exec_cycles
+
+    @property
+    def dynamic_nj(self) -> float:
+        return self.ledger.total_nj
+
+    @property
+    def total_nj(self) -> float:
+        return self.dynamic_nj + self.static_nj
+
+    @property
+    def skip_coverage(self) -> float:
+        """Fraction of true LLC misses the scheme skipped (Oracle = 1.0)."""
+        return self.skips / self.true_misses if self.true_misses else 0.0
+
+    def speedup_over(self, base: "SchemeResult") -> float:
+        return self.timing.speedup_over(base.timing)
+
+    def dynamic_ratio(self, base: "SchemeResult") -> float:
+        return self.dynamic_nj / base.dynamic_nj if base.dynamic_nj else 1.0
+
+    def total_ratio(self, base: "SchemeResult") -> float:
+        return self.total_nj / base.total_nj if base.total_nj else 1.0
+
+    def perf_energy_metric(self, base: "SchemeResult") -> float:
+        """Figure 8's metric: speedup x total-energy-saving product.
+
+        Both factors expressed as (1 + gain): a scheme with 8 % speedup and
+        22 % total energy saving scores 1.08 x 1.22 ~ 1.32.
+        """
+        return self.speedup_over(base) * (2.0 - self.total_ratio(base))
+
+
+def replay_predictor(
+    stream: OutcomeStream, predictor: PresencePredictor
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Sequentially replay L1-miss lookups against the LLC event stream.
+
+    Returns the per-access prediction array (only meaningful where the
+    access missed L1), the per-access *consulted* array (False where a
+    gated predictor answered without touching its table), and the total
+    recalibration stall cycles.  Event ordering matches hardware:
+    fills/evictions caused by access *i* are applied after access *i*'s
+    lookup (the lookup races ahead of the fill).
+    """
+    h = stream.hit_level
+    n = len(h)
+    predicted = np.ones(n, dtype=bool)
+    consulted = np.zeros(n, dtype=bool)
+    miss_mask = h != 1
+    miss_idx = np.nonzero(miss_mask)[0].tolist()
+    miss_blocks = stream.block[miss_mask].tolist()
+
+    when = stream.llc_when.tolist()
+    ops = stream.llc_op.tolist()
+    eblocks = stream.llc_block.tolist()
+    m = len(when)
+
+    lookup = predictor.predict_present
+    fill = predictor.on_llc_fill
+    evict = predictor.on_llc_evict
+    note = predictor.note_l1_miss
+
+    stall = 0.0
+    ei = 0
+    out = []
+    consults = []
+    for pos, i in enumerate(miss_idx):
+        while ei < m and when[ei] < i:
+            if ops[ei] == EVENT_FILL:
+                fill(eblocks[ei])
+            else:
+                evict(eblocks[ei])
+            ei += 1
+        out.append(lookup(miss_blocks[pos]))
+        consults.append(predictor.last_consulted)
+        stall += note()
+    while ei < m:  # drain so predictor telemetry covers the full run
+        if ops[ei] == EVENT_FILL:
+            fill(eblocks[ei])
+        else:
+            evict(eblocks[ei])
+        ei += 1
+    predicted[miss_mask] = np.asarray(out, dtype=bool) if out else False
+    consulted[miss_mask] = np.asarray(consults, dtype=bool) if consults else False
+    return predicted, consulted, stall
+
+
+def evaluate_scheme(
+    stream: OutcomeStream,
+    machine: MachineConfig,
+    scheme: SchemeSpec,
+    workload: Workload,
+    fill_energy_weight: float = 0.0,
+    memory_latency: float = 0.0,
+    memory_energy_nj: float = 0.0,
+    mlp: float = 1.0,
+    dram=None,
+) -> SchemeResult:
+    """Attribute latency and energy of ``scheme`` over the content stream.
+
+    ``memory_latency``/``memory_energy_nj`` default to the paper's free
+    data store; when non-zero, every memory-served access is charged the
+    same way under every scheme (prediction changes which *caches* are
+    probed, never whether memory is reached), which dilutes relative gains
+    — the sensitivity the ``ext-memory`` experiment studies.
+    """
+    costs = CostTable(machine)
+    ledger = EnergyLedger()
+    h = stream.hit_level
+    n = stream.num_accesses
+    num_levels = stream.num_levels
+    miss_mask = h != 1
+    l1_misses = int(miss_mask.sum())
+    true_misses = int((h == 0).sum())
+
+    # ---- prediction ------------------------------------------------------
+    predictor = None
+    stall = 0.0
+    consulted = np.zeros(n, dtype=bool)
+    if scheme.kind == "predictor":
+        predictor = scheme.build_predictor(machine)
+        predicted, consulted, stall = replay_predictor(stream, predictor)
+        fn = int((~predicted & (h >= 2)).sum())
+        if fn:
+            raise ReproError(
+                f"scheme {scheme.name!r} produced {fn} false negatives — "
+                "it would serve stale data in hardware"
+            )
+    elif scheme.kind == "oracle":
+        predicted = h != 0
+    else:
+        predicted = np.ones(n, dtype=bool)
+
+    skips = int((~predicted & (h == 0) & miss_mask).sum())
+    false_positives = int((predicted & (h == 0)).sum()) if scheme.skips_on_predicted_miss else 0
+
+    # ---- latency + probe energy ------------------------------------------
+    lat = np.full(n, float(costs.level_parallel_delay(1)), dtype=np.float64)
+    ledger.charge("L1", "probe", costs.level_parallel_energy(1), n)
+
+    if scheme.consults_table:
+        # Gated predictors answer some misses without a table consult;
+        # only real consults pay the lookup delay and energy.
+        lat[consulted] += scheme.resolve_lookup_delay(machine)
+        ledger.charge(
+            "PT", "lookup", scheme.resolve_lookup_energy(machine),
+            int(consulted.sum()),
+        )
+
+    for level in range(2, num_levels + 1):
+        reach = (h == 0) | (h >= level)
+        if scheme.skips_on_predicted_miss:
+            reach = reach & predicted
+        hits = reach & (h == level)
+        misses = reach & (h != level)
+        n_reach = int(reach.sum())
+        n_hits = int(hits.sum())
+        n_miss = n_reach - n_hits
+        name = machine.level(level).name
+        if level in scheme.phased_levels:
+            lat[hits] += costs.level_tag_delay(level) + costs.level_data_delay(level)
+            lat[misses] += costs.level_tag_delay(level)
+            ledger.charge(name, "tag", costs.level_tag_energy(level), n_reach)
+            ledger.charge(name, "data", costs.level_data_energy(level), n_hits)
+        elif level in scheme.way_predicted_levels:
+            # MRU-way prediction [12]: tag array plus one speculative data
+            # way per probe; an MRU hit (rank 0) finishes at the normal
+            # delay, a non-MRU hit pays a second serialized data access.
+            assoc = machine.level(level).assoc
+            way_energy = costs.level_data_energy(level) / assoc
+            mru_hits = hits & (stream.hit_rank == 0)
+            slow_hits = hits & (stream.hit_rank > 0)
+            lat[mru_hits] += costs.level_parallel_delay(level)
+            lat[slow_hits] += costs.level_parallel_delay(level) + costs.level_data_delay(level)
+            lat[misses] += costs.level_tag_delay(level)
+            ledger.charge(name, "tag", costs.level_tag_energy(level), n_reach)
+            ledger.charge(name, "data", way_energy, n_reach)
+            ledger.charge(name, "data", way_energy, int(slow_hits.sum()))
+        else:
+            lat[hits] += costs.level_parallel_delay(level)
+            lat[misses] += costs.level_tag_delay(level)
+            ledger.charge(name, "probe", costs.level_parallel_energy(level), n_reach)
+
+    # ---- main memory (the paper's free data store unless configured) -----
+    if dram is not None:
+        # Pattern-dependent DRAM: replay memory accesses in run order; the
+        # trajectory is scheme-independent, so every scheme sees the same
+        # bank/row sequence (each evaluation replays a fresh model).
+        from repro.energy.dram import DramConfig, DramModel
+
+        model = DramModel(dram if isinstance(dram, DramConfig) else None)
+        mem_mask = h == 0
+        mem_lat, mem_energy = model.access_stream(stream.block[mem_mask])
+        lat[mem_mask] += mem_lat
+        ledger.counts[("MEM", "access")] += true_misses
+        ledger.energy_nj[("MEM", "access")] += float(mem_energy.sum())
+    else:
+        if memory_latency > 0.0:
+            lat[h == 0] += memory_latency
+        if memory_energy_nj > 0.0:
+            ledger.charge("MEM", "access", memory_energy_nj, true_misses)
+
+    # ---- fills (optional accounting, identical across schemes) -----------
+    if fill_energy_weight > 0.0:
+        for level in range(1, num_levels + 1):
+            fills = true_misses
+            if level < num_levels:
+                fills += int((h > level).sum())
+            name = machine.level(level).name
+            ledger.charge(
+                name, "fill", fill_energy_weight * costs.level_data_energy(level), fills
+            )
+
+    # ---- memory-level parallelism (1.0 = the paper's serialized model) ---
+    if mlp != 1.0:
+        d1 = float(costs.level_parallel_delay(1))
+        lat = d1 + (lat - d1) / mlp
+
+    # ---- predictor maintenance -------------------------------------------
+    predictor_stats: dict = {}
+    if predictor is not None:
+        updates = int(getattr(predictor, "table_updates", 0))
+        ledger.charge("PT", "update", costs.pt_update_energy, updates)
+        recal_nj = predictor.maintenance_energy_nj()
+        if recal_nj:
+            ledger.charge("PT", "recal", recal_nj, 1)
+        predictor_stats = predictor.stats()
+
+    # ---- timing ------------------------------------------------------------
+    timing = TimingModel(machine).run(
+        core_ids=stream.core.astype(np.int64),
+        gaps=stream.gap,
+        latencies=lat,
+        cpis=workload.cpis,
+        stall_cycles=stall,
+    )
+    static_nj = StaticEnergyModel(machine).static_energy_nj(
+        timing.exec_cycles, include_pt=scheme.consults_table
+    )
+
+    # ---- per-level accounting under this scheme ---------------------------
+    level_lookups = {1: n}
+    level_hits = {1: n - l1_misses}
+    for level in range(2, num_levels + 1):
+        reach = (h == 0) | (h >= level)
+        if scheme.skips_on_predicted_miss:
+            reach = reach & predicted
+        level_lookups[level] = int(reach.sum())
+        level_hits[level] = int((reach & (h == level)).sum())
+    hit_rates = {
+        lvl: (level_hits[lvl] / level_lookups[lvl] if level_lookups[lvl] else 0.0)
+        for lvl in level_lookups
+    }
+
+    return SchemeResult(
+        scheme=scheme.name,
+        workload=workload.name,
+        machine=machine.name,
+        timing=timing,
+        ledger=ledger,
+        static_nj=static_nj,
+        hit_rates=hit_rates,
+        level_lookups=level_lookups,
+        level_hits=level_hits,
+        l1_misses=l1_misses,
+        skips=skips,
+        false_positives=false_positives,
+        true_misses=true_misses,
+        recal_stall_cycles=stall,
+        predictor_stats=predictor_stats,
+    )

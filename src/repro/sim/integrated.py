@@ -1,0 +1,460 @@
+"""The integrated single-pass simulator.
+
+Runs content, prediction, timing and energy in one loop — the classical
+simulator organization.  It exists for three reasons:
+
+1. **Reference implementation**: for inclusive/hybrid runs without
+   prefetching it must agree with the two-phase path (content walk +
+   evaluator); the test suite asserts this equivalence, which protects both
+   implementations against drift.
+2. **Prefetching** (Figures 14/15): prefetches change cache contents, so
+   the shared-content-trajectory assumption breaks and the scheme must sit
+   in the loop.
+3. **Exclusive ReDHiP** (Figure 13): the per-level prediction-table stack
+   changes which levels are probed based on per-level state that only
+   exists during the walk.
+
+Charging policy is identical to :mod:`repro.sim.evaluate` (see that module
+docstring); prefetch probes are charged to a separate ``prefetch`` category
+so Figure 15 can show where the prefetch energy goes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.exclusive import ExclusiveReDHiP
+from repro.energy.accounting import CostTable, EnergyLedger, StaticEnergyModel
+from repro.energy.timing import TimingResult
+from repro.hierarchy.hierarchy import CacheHierarchy
+from repro.hierarchy.inclusion import InclusionPolicy
+from repro.predictors.base import SchemeSpec
+from repro.prefetch.stride import StridePrefetcher
+from repro.sim.config import SimConfig
+from repro.sim.content import merge_order
+from repro.sim.evaluate import SchemeResult
+from repro.util.validation import ConfigError, ReproError
+from repro.workloads.trace import Workload
+
+__all__ = ["IntegratedSimulator", "PrefetchConfig"]
+
+_FILL = 0
+_EVICT = 1
+
+
+@dataclass(frozen=True)
+class PrefetchConfig:
+    """Stride-prefetcher knobs for the §V-C experiments."""
+
+    entries: int = 4096
+    degree: int = 1
+    #: When True and the scheme has a predictor, prefetch requests consult
+    #: the prediction table and skip all probes on a predicted miss.
+    redhip_filtered: bool = True
+
+
+class IntegratedSimulator:
+    """One-pass simulation of a (workload, scheme) pair."""
+
+    def __init__(self, config: SimConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------ main
+    def run(
+        self,
+        workload: Workload,
+        scheme: SchemeSpec,
+        prefetch: PrefetchConfig | None = None,
+    ) -> SchemeResult:
+        cfg = self.config
+        machine = cfg.machine
+        if workload.cores != machine.cores:
+            raise ConfigError("workload core count does not match machine")
+        if prefetch is not None and cfg.policy is not InclusionPolicy.INCLUSIVE:
+            raise ConfigError("prefetch experiments use the inclusive policy")
+        if scheme.kind == "predictor" and not cfg.policy.llc_is_superset:
+            raise ConfigError(
+                "single-table predictor schemes need an LLC-superset policy; "
+                "use run_exclusive_redhip for the exclusive hierarchy"
+            )
+
+        num_levels = machine.num_levels
+        costs = CostTable(machine)
+        ledger = EnergyLedger()
+
+        pending: list[tuple[int, int]] = []  # (op, block) at the LLC
+
+        def on_fill(level: int, block: int) -> None:
+            if level == num_levels:
+                pending.append((_FILL, block))
+
+        def on_evict(level: int, block: int) -> None:
+            if level == num_levels:
+                pending.append((_EVICT, block))
+
+        hierarchy_cls = CacheHierarchy
+        if cfg.coherent:
+            from repro.hierarchy.coherence import CoherentHierarchy
+
+            hierarchy_cls = CoherentHierarchy
+        hier = hierarchy_cls(
+            machine, policy=cfg.policy, replacement=cfg.replacement,
+            on_fill=on_fill, on_evict=on_evict, seed=cfg.seed,
+        )
+        predictor = scheme.build_predictor(machine)
+        lookup_delay = scheme.resolve_lookup_delay(machine)
+        lookup_energy = scheme.resolve_lookup_energy(machine)
+        oracle = scheme.kind == "oracle"
+        skipper = scheme.skips_on_predicted_miss
+        dram_model = None
+        if cfg.dram is not None:
+            from repro.energy.dram import DramConfig, DramModel
+
+            dram_model = DramModel(cfg.dram if isinstance(cfg.dram, DramConfig) else None)
+
+        prefetchers = None
+        if prefetch is not None:
+            prefetchers = [
+                StridePrefetcher(entries=prefetch.entries, degree=prefetch.degree)
+                for _ in range(machine.cores)
+            ]
+
+        # Per-level cost constants (index by level number).
+        tag_d = [0] + [costs.level_tag_delay(j) for j in range(1, num_levels + 1)]
+        par_d = [0] + [costs.level_parallel_delay(j) for j in range(1, num_levels + 1)]
+        dat_d = [0] + [costs.level_data_delay(j) for j in range(1, num_levels + 1)]
+        tag_e = [0.0] + [costs.level_tag_energy(j) for j in range(1, num_levels + 1)]
+        data_e = [0.0] + [costs.level_data_energy(j) for j in range(1, num_levels + 1)]
+        par_e = [0.0] + [costs.level_parallel_energy(j) for j in range(1, num_levels + 1)]
+        names = [""] + [machine.level(j).name for j in range(1, num_levels + 1)]
+        assocs = [0] + [machine.level(j).assoc for j in range(1, num_levels + 1)]
+        phased = set(scheme.phased_levels)
+        waypred = set(scheme.way_predicted_levels)
+
+        merged_core, merged_idx = merge_order(workload)
+        blocks = [t.blocks.tolist() for t in workload.traces]
+        writes = [t.write.tolist() for t in workload.traces]
+        gaps = [t.gap.tolist() for t in workload.traces]
+        pcs = [t.pc.tolist() for t in workload.traces]
+        addrs = [t.addr.tolist() for t in workload.traces]
+        cpis = workload.cpis
+
+        core_cycles = np.zeros(machine.cores, dtype=np.float64)
+        compute_cycles = np.zeros(machine.cores, dtype=np.float64)
+        stall = 0.0
+        l1_misses = 0
+        true_misses = 0
+        skips = 0
+        false_positives = 0
+        level_lookups = dict.fromkeys(range(1, num_levels + 1), 0)
+        level_hits = dict.fromkeys(range(1, num_levels + 1), 0)
+
+        def charge_probe(level: int, hit: bool, rank: int = -1) -> float:
+            """Charge one demand probe; returns its latency contribution."""
+            level_lookups[level] += 1
+            if hit:
+                level_hits[level] += 1
+            if level in phased:
+                ledger.charge(names[level], "tag", tag_e[level], 1)
+                if hit:
+                    ledger.charge(names[level], "data", data_e[level], 1)
+                    return tag_d[level] + dat_d[level]
+                return tag_d[level]
+            if level in waypred:
+                way_energy = data_e[level] / assocs[level]
+                ledger.charge(names[level], "tag", tag_e[level], 1)
+                ledger.charge(names[level], "data", way_energy, 1)
+                if hit:
+                    if rank == 0:
+                        return par_d[level]
+                    ledger.charge(names[level], "data", way_energy, 1)
+                    return par_d[level] + dat_d[level]
+                return tag_d[level]
+            ledger.charge(names[level], "probe", par_e[level], 1)
+            return par_d[level] if hit else tag_d[level]
+
+        access = hier.access
+        for core, idx in zip(merged_core.tolist(), merged_idx.tolist()):
+            block = blocks[core][idx]
+            hl = access(core, block, writes[core][idx])
+            lat = float(par_d[1])
+            level_lookups[1] += 1
+            ledger.charge("L1", "probe", par_e[1], 1)
+            if hl == 1:
+                level_hits[1] += 1
+            else:
+                l1_misses += 1
+                if hl == 0:
+                    true_misses += 1
+                if predictor is not None:
+                    predicted = predictor.predict_present(block)
+                    if predictor.last_consulted:
+                        lat += lookup_delay
+                        ledger.charge("PT", "lookup", lookup_energy, 1)
+                    stall += predictor.note_l1_miss()
+                elif oracle:
+                    predicted = hl != 0
+                else:
+                    predicted = True
+                if not predicted and skipper:
+                    if hl != 0:
+                        raise ReproError(
+                            f"false negative: block {block:#x} resident at L{hl}"
+                        )
+                    skips += 1
+                else:
+                    top = hl if hl >= 2 else num_levels
+                    for level in range(2, top + 1):
+                        lat += charge_probe(level, hit=(level == hl),
+                                            rank=hier.last_hit_rank)
+                    if skipper and hl == 0:
+                        false_positives += 1
+                if hl == 0:
+                    if dram_model is not None:
+                        d_lat, d_energy = dram_model.access(block)
+                        lat += d_lat
+                        ledger.charge("MEM", "access", d_energy, 1)
+                    else:
+                        lat += cfg.memory_latency
+                        if cfg.memory_energy_nj > 0.0:
+                            ledger.charge("MEM", "access", cfg.memory_energy_nj, 1)
+                # Apply this access's LLC events after the lookup raced them.
+                if predictor is not None and pending:
+                    for op, eb in pending:
+                        if op == _FILL:
+                            predictor.on_llc_fill(eb)
+                        else:
+                            predictor.on_llc_evict(eb)
+                pending.clear()
+
+            pending.clear()
+
+            if cfg.mlp != 1.0:
+                lat = par_d[1] + (lat - par_d[1]) / cfg.mlp
+
+            if prefetchers is not None:
+                # The RPT observes every reference (the original
+                # stride-directed design trains per load execution); with
+                # the model's zero-latency memory, issuing the next block
+                # as the stride approaches its boundary is timely.
+                pf = prefetchers[core]
+                pf.note_demand(block)
+                for target in pf.train(pcs[core][idx], addrs[core][idx]):
+                    self._issue_prefetch(
+                        hier, predictor, costs, ledger, pending,
+                        core, target, lookup_energy, pf,
+                    )
+
+            compute = gaps[core][idx] * cpis[core]
+            compute_cycles[core] += compute
+            core_cycles[core] += compute + lat
+
+        timing = TimingResult(
+            core_cycles=core_cycles,
+            compute_cycles=compute_cycles,
+            memory_cycles=core_cycles - compute_cycles,
+            stall_cycles=stall,
+        )
+        predictor_stats = predictor.stats() if predictor is not None else {}
+        if predictor is not None:
+            updates = int(getattr(predictor, "table_updates", 0))
+            ledger.charge("PT", "update", costs.pt_update_energy, updates)
+            recal_nj = predictor.maintenance_energy_nj()
+            if recal_nj:
+                ledger.charge("PT", "recal", recal_nj, 1)
+        static_nj = StaticEnergyModel(machine).static_energy_nj(
+            timing.exec_cycles, include_pt=scheme.consults_table
+        )
+        hit_rates = {
+            lvl: (level_hits[lvl] / level_lookups[lvl] if level_lookups[lvl] else 0.0)
+            for lvl in level_lookups
+        }
+        extra = {}
+        if prefetchers is not None:
+            extra["prefetch"] = {
+                "issued": sum(p.stats.issued for p in prefetchers),
+                "useful": sum(p.stats.useful for p in prefetchers),
+                "dropped_duplicate": sum(p.stats.dropped_duplicate for p in prefetchers),
+            }
+        return SchemeResult(
+            scheme=scheme.name,
+            workload=workload.name,
+            machine=machine.name,
+            timing=timing,
+            ledger=ledger,
+            static_nj=static_nj,
+            hit_rates=hit_rates,
+            level_lookups=level_lookups,
+            level_hits=level_hits,
+            l1_misses=l1_misses,
+            skips=skips,
+            false_positives=false_positives,
+            true_misses=true_misses,
+            recal_stall_cycles=stall,
+            predictor_stats=predictor_stats,
+            extra=extra,
+        )
+
+    def _issue_prefetch(self, hier, predictor, costs, ledger, pending,
+                        core, target, lookup_energy, prefetcher) -> None:
+        """One prefetch request: optional ReDHiP filter, probes, fill."""
+        machine = self.config.machine
+        num_levels = machine.num_levels
+        probe_allowed = True
+        if predictor is not None:
+            ledger.charge("PT", "lookup", lookup_energy, 1)
+            if not predictor.predict_present(target):
+                probe_allowed = False  # straight to memory, no probes
+        found = hier.prefetch_fill(core, target)
+        if found == 1:
+            return  # already in L1; the request dies at the L1 tag check
+        if not probe_allowed and found != 0:
+            raise ReproError("false negative on a prefetch probe")
+        if probe_allowed:
+            top = found if found >= 2 else num_levels
+            for level in range(2, top + 1):
+                name = machine.level(level).name
+                ledger.charge(name, "prefetch", costs.level_parallel_energy(level), 1)
+        prefetcher.mark_issued(target)
+        # The fill's LLC events must reach the predictor (bits set for
+        # prefetched blocks), after the filter consulted pre-fill state.
+        if predictor is not None and pending:
+            for op, eb in pending:
+                if op == _FILL:
+                    predictor.on_llc_fill(eb)
+                else:
+                    predictor.on_llc_evict(eb)
+        pending.clear()
+
+    # -------------------------------------------------- exclusive hierarchy
+    def run_exclusive_redhip(
+        self, workload: Workload, recal_period: int | None
+    ) -> SchemeResult:
+        """ReDHiP on the fully exclusive hierarchy (§III-C, Figure 13)."""
+        cfg = self.config
+        machine = cfg.machine
+        if cfg.policy is not InclusionPolicy.EXCLUSIVE:
+            raise ConfigError("run_exclusive_redhip requires the exclusive policy")
+        num_levels = machine.num_levels
+        costs = CostTable(machine)
+        ledger = EnergyLedger()
+        stack = ExclusiveReDHiP(machine, recal_period=recal_period)
+
+        pending: list[tuple[int, int, int]] = []  # (op, level, block)
+
+        def on_fill(level: int, block: int) -> None:
+            pending.append((_FILL, level, block))
+
+        def on_evict(level: int, block: int) -> None:
+            pending.append((_EVICT, level, block))
+
+        hier = CacheHierarchy(
+            machine, policy=cfg.policy, replacement=cfg.replacement,
+            on_fill=on_fill, on_evict=on_evict, seed=cfg.seed,
+        )
+        lookup_delay = machine.prediction_table.lookup_delay
+        lookup_energy = machine.prediction_table.access_energy
+        n_tables = len(stack.levels)
+
+        tag_d = [0] + [costs.level_tag_delay(j) for j in range(1, num_levels + 1)]
+        par_d = [0] + [costs.level_parallel_delay(j) for j in range(1, num_levels + 1)]
+        par_e = [0.0] + [costs.level_parallel_energy(j) for j in range(1, num_levels + 1)]
+        names = [""] + [machine.level(j).name for j in range(1, num_levels + 1)]
+
+        merged_core, merged_idx = merge_order(workload)
+        blocks = [t.blocks.tolist() for t in workload.traces]
+        writes = [t.write.tolist() for t in workload.traces]
+        gaps = [t.gap.tolist() for t in workload.traces]
+        cpis = workload.cpis
+
+        core_cycles = np.zeros(machine.cores, dtype=np.float64)
+        compute_cycles = np.zeros(machine.cores, dtype=np.float64)
+        stall = 0.0
+        l1_misses = true_misses = skips = false_positives = 0
+        level_lookups = dict.fromkeys(range(1, num_levels + 1), 0)
+        level_hits = dict.fromkeys(range(1, num_levels + 1), 0)
+
+        access = hier.access
+        for core, idx in zip(merged_core.tolist(), merged_idx.tolist()):
+            block = blocks[core][idx]
+            hl = access(core, block, writes[core][idx])
+            lat = float(par_d[1])
+            level_lookups[1] += 1
+            ledger.charge("L1", "probe", par_e[1], 1)
+            if hl == 1:
+                level_hits[1] += 1
+            else:
+                l1_misses += 1
+                if hl == 0:
+                    true_misses += 1
+                predicted_levels = stack.predict_levels(block)
+                lat += lookup_delay  # tables consulted in parallel
+                ledger.charge("PT", "lookup", lookup_energy, n_tables)
+                stall += stack.note_l1_miss()
+                if hl >= 2 and hl not in predicted_levels:
+                    raise ReproError(
+                        f"false negative: block {block:#x} at L{hl} not predicted"
+                    )
+                if not predicted_levels and hl == 0:
+                    skips += 1
+                else:
+                    for level in predicted_levels:
+                        if hl >= 2 and level > hl:
+                            break
+                        hit = level == hl
+                        level_lookups[level] += 1
+                        ledger.charge(names[level], "probe", par_e[level], 1)
+                        if hit:
+                            level_hits[level] += 1
+                            lat += par_d[level]
+                            break
+                        lat += tag_d[level]
+                    if hl == 0 and predicted_levels:
+                        false_positives += 1
+                for op, level, eb in pending:
+                    if op == _FILL:
+                        stack.on_fill(level, eb)
+                    else:
+                        stack.on_evict(level, eb)
+            pending.clear()
+            compute = gaps[core][idx] * cpis[core]
+            compute_cycles[core] += compute
+            core_cycles[core] += compute + lat
+
+        timing = TimingResult(
+            core_cycles=core_cycles,
+            compute_cycles=compute_cycles,
+            memory_cycles=core_cycles - compute_cycles,
+            stall_cycles=stall,
+        )
+        # Table writes: one per fill event at any level's table.
+        ledger.charge("PT", "update", costs.pt_update_energy, stack.table_updates)
+        recal_nj = stack.maintenance_energy_nj()
+        if recal_nj:
+            ledger.charge("PT", "recal", recal_nj, 1)
+        static_nj = StaticEnergyModel(machine).static_energy_nj(
+            timing.exec_cycles, include_pt=True
+        )
+        hit_rates = {
+            lvl: (level_hits[lvl] / level_lookups[lvl] if level_lookups[lvl] else 0.0)
+            for lvl in level_lookups
+        }
+        return SchemeResult(
+            scheme="ReDHiP",
+            workload=workload.name,
+            machine=machine.name,
+            timing=timing,
+            ledger=ledger,
+            static_nj=static_nj,
+            hit_rates=hit_rates,
+            level_lookups=level_lookups,
+            level_hits=level_hits,
+            l1_misses=l1_misses,
+            skips=skips,
+            false_positives=false_positives,
+            true_misses=true_misses,
+            recal_stall_cycles=stall,
+            predictor_stats=stack.stats(),
+        )

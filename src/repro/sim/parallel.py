@@ -1,0 +1,96 @@
+"""Parallel content walks across worker processes.
+
+Regenerating a figure costs one content walk per workload, and the walks
+are embarrassingly parallel (they share nothing but read-only config).
+This module fans them out over a :class:`~concurrent.futures.
+ProcessPoolExecutor` and returns the frozen outcome streams, which the
+caller can feed into an :class:`ExperimentRunner`'s cache — after which
+every scheme evaluation proceeds as usual on the pre-warmed streams.
+
+Workloads are *rebuilt inside each worker* from (name, config) rather than
+pickled across the fence: the generators are deterministic, and shipping a
+few ints beats serializing hundreds of megabytes of trace arrays.  Only
+registry-named workloads can be prewarmed this way; explicit custom
+workloads stay on the serial path.
+
+Typical use (this is what the benchmark harness does under
+``REPRO_PARALLEL``)::
+
+    runner = ExperimentRunner(cfg)
+    prewarm_streams(runner, PAPER_WORKLOADS, workers=4)
+    results = runner.run_matrix(PAPER_WORKLOADS, schemes)   # all cached
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.hierarchy.events import OutcomeStream
+from repro.hierarchy.inclusion import InclusionPolicy
+from repro.sim.config import SimConfig
+from repro.sim.content import ContentSimulator
+from repro.sim.runner import ExperimentRunner
+from repro.util.validation import check_positive
+from repro.workloads import get_workload
+
+__all__ = ["walk_one", "prewarm_streams", "default_workers"]
+
+
+def default_workers() -> int:
+    """Worker count: ``REPRO_PARALLEL`` if set, else cores-1 (min 1)."""
+    env = os.environ.get("REPRO_PARALLEL")
+    if env:
+        return max(1, int(env))
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def walk_one(config: SimConfig, workload_name: str,
+             policy: str | None = None) -> tuple[str, str, OutcomeStream]:
+    """Worker entry point: build the workload and run one content walk.
+
+    Module-level (picklable) by design.  Returns the key material the
+    parent needs to slot the stream into a runner cache.
+    """
+    cfg = config if policy is None else config.with_policy(policy)
+    workload = get_workload(
+        workload_name, cfg.machine, cfg.refs_per_core, cfg.seed
+    )
+    stream = ContentSimulator(cfg).run(workload)
+    return workload_name, cfg.policy.value, stream
+
+
+def prewarm_streams(
+    runner: ExperimentRunner,
+    workload_names,
+    policy: InclusionPolicy | str | None = None,
+    workers: int | None = None,
+) -> dict[str, OutcomeStream]:
+    """Fill the runner's stream cache using a process pool.
+
+    Returns {workload_name: stream}.  With ``workers=1`` (or a single
+    workload) the pool is skipped entirely — same results, no fork cost.
+    """
+    names = [n for n in workload_names]
+    nworkers = workers if workers is not None else default_workers()
+    check_positive("workers", nworkers)
+    cfg = runner.config if policy is None else runner.config.with_policy(policy)
+
+    out: dict[str, OutcomeStream] = {}
+    pending = [n for n in names]
+    if nworkers == 1 or len(pending) <= 1:
+        for name in pending:
+            out[name] = runner.stream(name, policy=policy)
+        return out
+
+    pol = None if policy is None else InclusionPolicy.parse(policy).value
+    with ProcessPoolExecutor(max_workers=min(nworkers, len(pending))) as pool:
+        futures = [
+            pool.submit(walk_one, runner.config, name, pol) for name in pending
+        ]
+        for fut in futures:
+            name, _pol, stream = fut.result()
+            key = (name, *cfg.cache_key())
+            runner._streams[key] = stream
+            out[name] = stream
+    return out

@@ -1,0 +1,136 @@
+"""Experiment orchestration with content-trajectory caching.
+
+The expensive part of any figure is the content walk (one pass of the full
+multi-core trace through the hierarchy).  Because the walk is
+scheme-independent, the runner caches one :class:`OutcomeStream` per
+(workload, machine, policy, refs, seed, replacement) and re-evaluates every
+scheme against it in milliseconds — so regenerating Figure 6 costs one walk
+per workload, not one per (workload, scheme).
+
+Workloads themselves are also cached: the same trace arrays serve every
+policy and every scheme, exactly as the paper's Pin trace files did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hierarchy.events import OutcomeStream
+from repro.hierarchy.inclusion import InclusionPolicy
+from repro.predictors.base import SchemeSpec
+from repro.sim.config import SimConfig
+from repro.sim.content import ContentSimulator
+from repro.sim.evaluate import SchemeResult, evaluate_scheme
+from repro.sim.integrated import IntegratedSimulator, PrefetchConfig
+from repro.util.validation import ConfigError
+from repro.workloads import get_workload
+from repro.workloads.trace import Workload
+
+__all__ = ["ExperimentRunner"]
+
+
+@dataclass
+class ExperimentRunner:
+    """Caches workloads and content streams; runs scheme evaluations."""
+
+    config: SimConfig
+    _workloads: dict[tuple, Workload] = field(default_factory=dict, repr=False)
+    _streams: dict[tuple, OutcomeStream] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------ workloads
+    def add_workload(self, workload: Workload) -> str:
+        """Register an explicit workload (custom traces, loaded trace
+        files); it becomes addressable by its name like registry entries."""
+        key = (workload.name, self.config.machine.name,
+               self.config.refs_per_core, self.config.seed)
+        self._workloads[key] = workload
+        return workload.name
+
+    def _resolve(self, workload: "str | Workload") -> str:
+        if isinstance(workload, Workload):
+            return self.add_workload(workload)
+        return workload
+
+    def workload(self, name: "str | Workload") -> Workload:
+        name = self._resolve(name)
+        key = (name, self.config.machine.name, self.config.refs_per_core, self.config.seed)
+        if key not in self._workloads:
+            self._workloads[key] = get_workload(
+                name, self.config.machine, self.config.refs_per_core, self.config.seed
+            )
+        return self._workloads[key]
+
+    # -------------------------------------------------------------- content
+    def stream(self, workload_name: "str | Workload",
+               policy: InclusionPolicy | str | None = None) -> OutcomeStream:
+        workload_name = self._resolve(workload_name)
+        cfg = self.config if policy is None else self.config.with_policy(policy)
+        key = (workload_name, *cfg.cache_key())
+        if key not in self._streams:
+            sim = ContentSimulator(cfg)
+            self._streams[key] = sim.run(self.workload(workload_name))
+        return self._streams[key]
+
+    # ------------------------------------------------------------ two-phase
+    def run(self, workload_name: "str | Workload", scheme: SchemeSpec,
+            policy: InclusionPolicy | str | None = None) -> SchemeResult:
+        """Two-phase evaluation (fast path).
+
+        Predictor schemes require an LLC-superset policy; exclusive
+        hierarchies must use :meth:`run_integrated` /
+        :meth:`run_exclusive_redhip`.
+        """
+        workload_name = self._resolve(workload_name)
+        cfg = self.config if policy is None else self.config.with_policy(policy)
+        if scheme.kind == "predictor" and not cfg.policy.llc_is_superset:
+            raise ConfigError(
+                "two-phase evaluation of predictor schemes needs an "
+                "LLC-superset (inclusive/hybrid) policy"
+            )
+        stream = self.stream(workload_name, policy=cfg.policy)
+        return evaluate_scheme(
+            stream,
+            cfg.machine,
+            scheme,
+            self.workload(workload_name),
+            fill_energy_weight=cfg.fill_energy_weight,
+            memory_latency=cfg.memory_latency,
+            memory_energy_nj=cfg.memory_energy_nj,
+            mlp=cfg.mlp,
+            dram=cfg.dram,
+        )
+
+    def run_matrix(
+        self, workload_names, schemes: list[SchemeSpec],
+        policy: InclusionPolicy | str | None = None,
+    ) -> dict[str, dict[str, SchemeResult]]:
+        """Evaluate every scheme on every workload: {workload: {scheme: result}}."""
+        out: dict[str, dict[str, SchemeResult]] = {}
+        for wname in workload_names:
+            row: dict[str, SchemeResult] = {}
+            for scheme in schemes:
+                row[scheme.name] = self.run(wname, scheme, policy=policy)
+            out[wname] = row
+        return out
+
+    # ------------------------------------------------------------ one-phase
+    def run_integrated(
+        self, workload_name: "str | Workload", scheme: SchemeSpec,
+        policy: InclusionPolicy | str | None = None,
+        prefetch: PrefetchConfig | None = None,
+    ) -> SchemeResult:
+        """Single-pass simulation (prefetching, cross-validation)."""
+        workload_name = self._resolve(workload_name)
+        cfg = self.config if policy is None else self.config.with_policy(policy)
+        sim = IntegratedSimulator(cfg)
+        return sim.run(self.workload(workload_name), scheme, prefetch=prefetch)
+
+    def run_exclusive_redhip(
+        self, workload_name: "str | Workload", recal_period: int | None = None
+    ) -> SchemeResult:
+        """ReDHiP with the per-level table stack on the exclusive hierarchy."""
+        workload_name = self._resolve(workload_name)
+        cfg = self.config.with_policy(InclusionPolicy.EXCLUSIVE)
+        period = recal_period if recal_period is not None else cfg.recal_period
+        sim = IntegratedSimulator(cfg)
+        return sim.run_exclusive_redhip(self.workload(workload_name), period)

@@ -1,0 +1,51 @@
+"""Small shared utilities: bit manipulation, statistics, deterministic RNG.
+
+These helpers are deliberately dependency-light; every other subpackage may
+import :mod:`repro.util` but :mod:`repro.util` imports nothing from the rest
+of the package.
+"""
+
+from repro.util.bitops import (
+    bit_slice,
+    ilog2,
+    is_pow2,
+    mask,
+    one_hot64,
+    popcount64_array,
+)
+from repro.util.rng import make_rng, seed_from_string
+from repro.util.stats import (
+    geometric_mean,
+    normalize_to,
+    percent,
+    ratio_series,
+    summarize,
+)
+from repro.util.validation import (
+    ReproError,
+    check_in,
+    check_positive,
+    check_pow2,
+    check_range,
+)
+
+__all__ = [
+    "ReproError",
+    "bit_slice",
+    "check_in",
+    "check_positive",
+    "check_pow2",
+    "check_range",
+    "geometric_mean",
+    "ilog2",
+    "is_pow2",
+    "make_rng",
+    "mask",
+    "normalize_to",
+    "one_hot64",
+    "percent",
+    "popcount64_array",
+    "ratio_series",
+    "seed_from_string",
+    "summarize",
+]

@@ -1,0 +1,51 @@
+"""Configuration validation helpers.
+
+Cache-geometry mistakes (non-power-of-two sizes, table bigger than the cache
+it predicts, …) fail fast with a :class:`ReproError` carrying a message that
+names the offending parameter, rather than producing silently wrong physics.
+"""
+
+from __future__ import annotations
+
+from repro.util.bitops import is_pow2
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "check_positive",
+    "check_pow2",
+    "check_range",
+    "check_in",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration value is inconsistent or out of range."""
+
+
+def check_positive(name: str, value: float) -> None:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ConfigError(f"{name} must be positive, got {value!r}")
+
+
+def check_pow2(name: str, value: int) -> None:
+    """Require a positive power-of-two integer."""
+    if not isinstance(value, int) or not is_pow2(value):
+        raise ConfigError(f"{name} must be a positive power of two, got {value!r}")
+
+
+def check_range(name: str, value: float, low: float, high: float) -> None:
+    """Require ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ConfigError(f"{name} must be in [{low}, {high}], got {value!r}")
+
+
+def check_in(name: str, value: object, allowed: tuple) -> None:
+    """Require membership in an explicit set of allowed values."""
+    if value not in allowed:
+        raise ConfigError(f"{name} must be one of {allowed!r}, got {value!r}")

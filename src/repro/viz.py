@@ -1,0 +1,103 @@
+"""Plain-text visualization: bar charts and sparklines for terminal output.
+
+The paper communicates through bar charts; this module renders the same
+series as aligned Unicode bars so the CLI and bench output read like the
+figures they reproduce, with zero plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.util.validation import ConfigError
+
+__all__ = ["bar_chart", "grouped_bar_chart", "sparkline"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def _bar(value: float, max_value: float, width: int) -> str:
+    """One left-to-right bar of ``width`` character cells."""
+    if max_value <= 0:
+        return ""
+    frac = max(0.0, min(1.0, value / max_value))
+    eighths = round(frac * width * 8)
+    full, rem = divmod(eighths, 8)
+    return "█" * full + (_BLOCKS[rem] if rem else "")
+
+
+def bar_chart(
+    series: Mapping[str, float],
+    width: int = 40,
+    value_format: str = "{:+.1%}",
+    baseline: float = 0.0,
+) -> str:
+    """Horizontal bar chart of one keyed series.
+
+    Values are plotted as magnitudes relative to ``baseline``; negative
+    deviations are marked with a leading ``-`` lane so speedup charts read
+    like Figure 6 (bars below zero are visibly different).
+    """
+    if not series:
+        raise ConfigError("cannot chart an empty series")
+    if width < 4:
+        raise ConfigError("chart width must be at least 4")
+    deviations = {k: v - baseline for k, v in series.items()}
+    max_abs = max(abs(v) for v in deviations.values()) or 1.0
+    label_w = max(len(k) for k in series)
+    lines = []
+    for key, value in series.items():
+        dev = deviations[key]
+        bar = _bar(abs(dev), max_abs, width)
+        sign = "-" if dev < 0 else " "
+        lines.append(
+            f"{key.ljust(label_w)} {sign}|{bar.ljust(width)}| "
+            + value_format.format(value)
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    series: Mapping[str, Mapping[str, float]],
+    width: int = 32,
+    value_format: str = "{:+.1%}",
+    baseline: float = 0.0,
+) -> str:
+    """Figure-style grouped bars: {benchmark: {scheme: value}}."""
+    if not series:
+        raise ConfigError("cannot chart an empty series")
+    all_values = [v - baseline for row in series.values() for v in row.values()]
+    max_abs = max((abs(v) for v in all_values), default=1.0) or 1.0
+    label_w = max(
+        (len(s) for row in series.values() for s in row), default=1
+    )
+    out = []
+    for bench, row in series.items():
+        out.append(f"{bench}:")
+        for scheme, value in row.items():
+            dev = value - baseline
+            bar = _bar(abs(dev), max_abs, width)
+            sign = "-" if dev < 0 else " "
+            out.append(
+                f"  {scheme.ljust(label_w)} {sign}|{bar.ljust(width)}| "
+                + value_format.format(value)
+            )
+    return "\n".join(out)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend (used for the per-window phase statistics)."""
+    vals = [v for v in values if v == v]  # drop NaNs
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    span = hi - lo
+    out = []
+    for v in values:
+        if v != v:
+            out.append(" ")
+            continue
+        frac = (v - lo) / span if span else 0.5
+        out.append(_SPARKS[min(7, int(frac * 8))])
+    return "".join(out)

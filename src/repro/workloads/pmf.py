@@ -1,0 +1,99 @@
+"""Probabilistic matrix factorization workload (the paper's GraphLab app).
+
+The paper's second large-scale application is a probabilistic matrix
+factorization trained with GraphLab.  We model the dominant memory pattern
+of SGD-based matrix factorization directly: for every rating ``(u, i, r)``
+the kernel
+
+1. streams the rating record itself (sequential, dataset >> LLC),
+2. reads the user factor row ``U[u]`` (``RANK`` floats, 2 cache lines),
+3. reads the item factor row ``V[i]``,
+4. writes both rows back after the gradient step.
+
+Users/items are drawn with a skew toward popular items (a crude Zipf via
+squaring a uniform variate), which matches recommender datasets and gives
+the factor matrices partial cacheability — the behaviour that puts pmf
+between the streaming and pointer-chasing SPEC codes in the figures.
+
+Eight GraphLab worker processes are modelled as eight traces with disjoint
+rating shards and their own factor-matrix copies (GraphLab's distributed
+engine replicates hot vertex data), i.e. distinct address spaces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.energy.params import MachineConfig
+from repro.util.rng import make_rng
+from repro.workloads.synthetic import Component, Region, assemble_mixture
+from repro.workloads.trace import Trace
+
+__all__ = ["sgd_reference_stream", "build_pmf_trace", "PMF_CPI", "RANK"]
+
+PMF_CPI = 2.6
+
+#: Latent factor rank; 16 doubles = 128 bytes = 2 cache lines per row.
+RANK = 16
+ROW_BYTES = RANK * 8
+
+
+def sgd_reference_stream(
+    machine: MachineConfig, seed: int, max_refs: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate the (addr, write) stream of SGD over rating triples."""
+    rng = make_rng(seed, "pmf-sgd")
+    share = machine.llc.size // machine.cores
+    # U and V each sized at ~0.75x the LLC share: partially cacheable.
+    rows = max(64, int(0.75 * share) // ROW_BYTES)
+
+    # Per rating: 1 rating read + 2 U reads + 2 V reads + 2 U writes + 2 V writes.
+    refs_per_rating = 9
+    ratings = max(1, max_refs // refs_per_rating + 1)
+
+    u = (rng.random(ratings) ** 2 * rows).astype(np.uint64)  # skewed
+    v = (rng.random(ratings) ** 2 * rows).astype(np.uint64)
+
+    base_ratings = 0
+    ratings_span = 16 * ratings  # 16-byte records, streamed once
+    base_u = ratings_span
+    base_v = base_u + rows * ROW_BYTES
+
+    pat = np.empty((ratings, refs_per_rating), dtype=np.uint64)
+    wr = np.zeros((ratings, refs_per_rating), dtype=bool)
+    pat[:, 0] = base_ratings + 16 * np.arange(ratings, dtype=np.uint64)
+    u_addr = base_u + u * np.uint64(ROW_BYTES)
+    v_addr = base_v + v * np.uint64(ROW_BYTES)
+    pat[:, 1] = u_addr
+    pat[:, 2] = u_addr + np.uint64(64)
+    pat[:, 3] = v_addr
+    pat[:, 4] = v_addr + np.uint64(64)
+    pat[:, 5] = u_addr
+    pat[:, 6] = u_addr + np.uint64(64)
+    pat[:, 7] = v_addr
+    pat[:, 8] = v_addr + np.uint64(64)
+    wr[:, 5:] = True
+
+    return pat.reshape(-1)[:max_refs], wr.reshape(-1)[:max_refs]
+
+
+def build_pmf_trace(
+    machine: MachineConfig, refs: int, seed: int, process_id: int
+) -> Trace:
+    """One GraphLab worker's trace: SGD stream blended with hot compute."""
+    sgd_weight = 0.26
+    addr, write = sgd_reference_stream(
+        machine, seed + process_id, max_refs=max(1, int(refs * sgd_weight) + 1)
+    )
+    return assemble_mixture(
+        name="pmf",
+        components=(
+            Component("seq", 0.66, Region(0.3, "L1"), stride=8),
+            Component("seq", 0.08, Region(2.0, "LLC"), stride=8),
+        ),
+        refs=refs,
+        machine=machine,
+        seed=seed + 104729 * process_id,
+        cpi=PMF_CPI,
+        extra_streams=((addr, write, sgd_weight),),
+    )

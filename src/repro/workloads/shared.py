@@ -1,0 +1,73 @@
+"""Multi-threaded (shared-data) workload construction.
+
+The multiprogrammed workloads of §IV live in disjoint address spaces; a
+multi-*threaded* application shares data between cores, which exercises
+the coherence machinery (:mod:`repro.hierarchy.coherence`) and the claim
+that ReDHiP needs no protocol changes.  This builder takes any per-core
+private recipe and redirects a chosen fraction of each core's references
+into one region that all cores address identically.
+
+Shared addresses live above the per-process ASID range (bit 45+), so they
+are visibly "the same physical page" to every structure regardless of the
+per-core page randomization applied to the private portion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.energy.params import BLOCK_SIZE, MachineConfig
+from repro.util.rng import make_rng
+from repro.util.validation import check_range
+from repro.workloads.spec import build_spec_trace
+from repro.workloads.synthetic import Region
+from repro.workloads.trace import Workload, per_core_address_space
+
+__all__ = ["build_shared_workload", "SHARED_BASE"]
+
+#: Base address of the shared region (above all per-process spaces).
+SHARED_BASE = 1 << 45
+
+
+def build_shared_workload(
+    machine: MachineConfig,
+    refs_per_core: int,
+    seed: int = 1,
+    shared_fraction: float = 0.3,
+    shared_region: Region = Region(0.5, "SHARE"),
+    shared_write_frac: float = 0.3,
+    base_recipe: str = "milc",
+) -> Workload:
+    """A multi-threaded workload: per-core private traffic plus a shared
+    random-access region touched by every core.
+
+    ``shared_fraction`` of each core's references are redirected to random
+    blocks of the shared region (think: a shared hash table or frontier
+    under a work-stealing runtime).
+    """
+    check_range("shared_fraction", shared_fraction, 0.0, 1.0)
+    region_bytes = shared_region.resolve(machine)
+    blocks_in_region = max(1, region_bytes // BLOCK_SIZE)
+    traces = []
+    for core in range(machine.cores):
+        private = per_core_address_space(
+            build_spec_trace(base_recipe, machine, refs_per_core, seed + 31 * core),
+            core, seed,
+        )
+        rng = make_rng(seed, f"shared-core{core}")
+        positions = rng.random(refs_per_core) < shared_fraction
+        count = int(positions.sum())
+        addr = private.addr.copy()
+        write = private.write.copy()
+        picks = rng.integers(0, blocks_in_region, size=count, dtype=np.uint64)
+        addr[positions] = np.uint64(SHARED_BASE) + picks * np.uint64(BLOCK_SIZE)
+        write[positions] = rng.random(count) < shared_write_frac
+        traces.append(replace(private, addr=addr, write=write,
+                              name=f"{base_recipe}+shared"))
+    return Workload(
+        name=f"shared-{int(shared_fraction * 100)}",
+        traces=tuple(traces),
+        meta={"shared_fraction": shared_fraction, "base": base_recipe},
+    )

@@ -1,0 +1,175 @@
+"""Memory-reference traces — the substitute for the paper's Pin traces.
+
+A :class:`Trace` is the unit the simulators consume: per-reference program
+counter, byte address, read/write flag and the count of non-memory
+instructions since the previous reference (the paper charges those at the
+application's average CPI).  A :class:`Workload` bundles one trace per core
+plus the application's CPI, mirroring §IV's setup where SPEC traces are
+duplicated eight-fold (with distinct address spaces — separate processes)
+and the parallel applications supply eight distinct per-process traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.energy.params import BLOCK_BITS
+from repro.util.validation import ConfigError, check_positive
+
+__all__ = ["Trace", "Workload", "duplicate_for_cores"]
+
+#: Distinct processes live in distinct address spaces; cores get their
+#: trace shifted by this much (bits >= 40, far above any index bits).
+ASID_STRIDE = 1 << 40
+
+#: OS page size: page-number randomization keeps the low 12 bits intact.
+PAGE_BITS = 12
+
+
+@dataclass(frozen=True)
+class Trace:
+    """One core's memory-reference stream.
+
+    Attributes
+    ----------
+    pc, addr:
+        uint64 arrays; ``addr`` is the byte address of the reference.
+    write:
+        bool array; stores mark the L1 copy dirty.
+    gap:
+        uint32 array; non-memory instructions executed before this
+        reference (drives the CPI-based compute time).
+    cpi:
+        Average cycles per non-memory instruction for this application.
+    """
+
+    name: str
+    pc: np.ndarray
+    addr: np.ndarray
+    write: np.ndarray
+    gap: np.ndarray
+    cpi: float = 1.0
+    meta: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        n = len(self.addr)
+        if not (len(self.pc) == len(self.write) == len(self.gap) == n):
+            raise ConfigError(f"trace {self.name!r}: field length mismatch")
+        check_positive("cpi", self.cpi)
+
+    @property
+    def num_refs(self) -> int:
+        return int(len(self.addr))
+
+    @property
+    def blocks(self) -> np.ndarray:
+        """Block numbers (addr >> 6) as uint64."""
+        return self.addr >> np.uint64(BLOCK_BITS)
+
+    @property
+    def instructions(self) -> int:
+        """Total instructions represented: refs plus compute gaps."""
+        return int(self.gap.sum()) + self.num_refs
+
+    def head(self, n: int) -> "Trace":
+        """First ``n`` references (used to shorten benchmark runs)."""
+        return replace(
+            self,
+            pc=self.pc[:n],
+            addr=self.addr[:n],
+            write=self.write[:n],
+            gap=self.gap[:n],
+        )
+
+    def with_address_offset(self, offset: int) -> "Trace":
+        """Shift the whole trace into a different address space."""
+        return replace(self, addr=self.addr + np.uint64(offset))
+
+    def with_page_xor(self, xor_pages: int) -> "Trace":
+        """XOR the page-number bits (12..39) with a per-process constant.
+
+        Models physical page allocation: processes running the same binary
+        share page *offsets* but get unrelated physical page numbers, so
+        their blocks decorrelate in every physically-indexed structure —
+        the LLC sets and, crucially, the bits-hash prediction table.
+        Without this, duplicated traces would alias perfectly in the table
+        (identical low address bits) and poison each other's entries, a
+        situation no real multiprogrammed system produces.  XOR with a
+        constant is a bijection, so no two addresses of one process ever
+        collide.
+        """
+        if not 0 <= xor_pages < (1 << 28):
+            raise ConfigError("page xor constant must fit in 28 bits")
+        return replace(self, addr=self.addr ^ np.uint64(xor_pages << PAGE_BITS))
+
+    def validate(self) -> None:
+        """Sanity checks used by tests and the trace-file loader."""
+        if self.num_refs == 0:
+            raise ConfigError(f"trace {self.name!r} is empty")
+        if self.addr.dtype != np.uint64 or self.pc.dtype != np.uint64:
+            raise ConfigError(f"trace {self.name!r}: pc/addr must be uint64")
+        if self.write.dtype != bool:
+            raise ConfigError(f"trace {self.name!r}: write must be bool")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A multi-core run: one trace per core, in core order."""
+
+    name: str
+    traces: tuple[Trace, ...]
+    meta: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.traces:
+            raise ConfigError(f"workload {self.name!r} has no traces")
+
+    @property
+    def cores(self) -> int:
+        return len(self.traces)
+
+    @property
+    def total_refs(self) -> int:
+        return sum(t.num_refs for t in self.traces)
+
+    @property
+    def cpis(self) -> np.ndarray:
+        return np.array([t.cpi for t in self.traces], dtype=np.float64)
+
+    def head(self, refs_per_core: int) -> "Workload":
+        return Workload(
+            name=self.name,
+            traces=tuple(t.head(refs_per_core) for t in self.traces),
+            meta=dict(self.meta),
+        )
+
+
+def per_core_address_space(trace: Trace, core: int, seed: int) -> Trace:
+    """Give one process copy its own physical address space.
+
+    Combines a high-bit ASID offset (guaranteed distinctness) with a
+    per-process page-number XOR (physical-page decorrelation); see
+    :meth:`Trace.with_page_xor`.
+    """
+    from repro.util.rng import make_rng  # local import avoids cycle at module load
+
+    rng = make_rng(seed, f"page-xor-core{core}")
+    xor_pages = int(rng.integers(0, 1 << 28))
+    return trace.with_page_xor(xor_pages).with_address_offset(core * ASID_STRIDE)
+
+
+def duplicate_for_cores(trace: Trace, cores: int, seed: int = 1) -> Workload:
+    """§IV's multiprogramming model: run one application per core.
+
+    Each copy lives in its own physical address space (separate OS
+    processes do not share pages), so the shared LLC sees genuine capacity
+    contention rather than artificial constructive sharing, and the
+    prediction table sees decorrelated bit patterns per process.
+    """
+    check_positive("cores", cores)
+    traces = tuple(
+        per_core_address_space(trace, core, seed) for core in range(cores)
+    )
+    return Workload(name=trace.name, traces=traces, meta={"duplicated": True})

@@ -1,0 +1,74 @@
+"""Trace file I/O.
+
+The paper collected Pin traces once and replayed them through the cache
+simulator; this module provides the same decoupling — generate a workload
+once, save it, and replay it across many scheme evaluations.  Format is a
+single compressed ``.npz`` holding every core's arrays plus a metadata
+record, so a saved workload is one portable file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.util.validation import ConfigError
+from repro.workloads.trace import Trace, Workload
+
+__all__ = ["save_workload", "load_workload"]
+
+_FORMAT_VERSION = 1
+
+
+def save_workload(workload: Workload, path: str | Path) -> Path:
+    """Write a workload to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    arrays: dict[str, np.ndarray] = {}
+    meta = {
+        "version": _FORMAT_VERSION,
+        "name": workload.name,
+        "cores": workload.cores,
+        "traces": [],
+    }
+    for i, t in enumerate(workload.traces):
+        arrays[f"pc_{i}"] = t.pc
+        arrays[f"addr_{i}"] = t.addr
+        arrays[f"write_{i}"] = t.write
+        arrays[f"gap_{i}"] = t.gap
+        meta["traces"].append({"name": t.name, "cpi": t.cpi})
+    arrays["meta"] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_workload(path: str | Path) -> Workload:
+    """Read a workload previously written by :func:`save_workload`."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigError(f"trace file {path} does not exist")
+    with np.load(path) as data:
+        try:
+            meta = json.loads(bytes(data["meta"].tobytes()).decode("utf-8"))
+        except KeyError:
+            raise ConfigError(f"{path} is not a repro trace file (no meta)") from None
+        if meta.get("version") != _FORMAT_VERSION:
+            raise ConfigError(
+                f"{path}: unsupported trace format version {meta.get('version')}"
+            )
+        traces = []
+        for i, tmeta in enumerate(meta["traces"]):
+            traces.append(
+                Trace(
+                    name=tmeta["name"],
+                    pc=data[f"pc_{i}"],
+                    addr=data[f"addr_{i}"],
+                    write=data[f"write_{i}"],
+                    gap=data[f"gap_{i}"],
+                    cpi=tmeta["cpi"],
+                )
+            )
+    return Workload(name=meta["name"], traces=tuple(traces))

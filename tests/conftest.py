@@ -1,0 +1,89 @@
+"""Shared fixtures: the tiny test machine, small configs and workloads.
+
+Everything here is sized so the whole unit suite runs in seconds: the
+``tiny`` machine (2 cores, 1/4/16/64 KB levels, 512 B prediction table)
+exercises evictions, back-invalidation and recalibration within a few
+hundred accesses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.energy.params import get_machine
+from repro.sim.config import SimConfig
+from repro.sim.runner import ExperimentRunner
+from repro.workloads.synthetic import Component, Region, assemble_mixture
+from repro.workloads.trace import Trace, Workload, duplicate_for_cores
+
+
+@pytest.fixture
+def tiny_machine():
+    return get_machine("tiny")
+
+
+@pytest.fixture
+def scaled_machine():
+    return get_machine("scaled")
+
+
+@pytest.fixture
+def paper_machine_fx():
+    return get_machine("paper")
+
+
+@pytest.fixture
+def tiny_config(tiny_machine):
+    return SimConfig(machine=tiny_machine, refs_per_core=4000, seed=7)
+
+
+@pytest.fixture
+def tiny_runner(tiny_config):
+    return ExperimentRunner(tiny_config)
+
+
+def make_trace(name="t", refs=1000, machine=None, seed=3, cpi=1.5):
+    """A small mixed trace: hot loop + stream + random — enough to produce
+    hits and misses at every level of the tiny machine."""
+    machine = machine or get_machine("tiny")
+    return assemble_mixture(
+        name=name,
+        components=(
+            Component("seq", 0.6, Region(0.5, "L1"), stride=8),
+            Component("seq", 0.2, Region(4.0, "LLC"), stride=8, write_frac=0.3),
+            Component("random", 0.2, Region(1.0, "SHARE")),
+        ),
+        refs=refs,
+        machine=machine,
+        seed=seed,
+        cpi=cpi,
+    )
+
+
+@pytest.fixture
+def tiny_workload(tiny_machine):
+    return duplicate_for_cores(make_trace(machine=tiny_machine), tiny_machine.cores, seed=5)
+
+
+def make_explicit_trace(blocks, cpi=1.0, writes=None, gaps=None, name="explicit"):
+    """A trace from an explicit block-number list (addresses = block << 6)."""
+    blocks = np.asarray(blocks, dtype=np.uint64)
+    n = len(blocks)
+    return Trace(
+        name=name,
+        pc=np.full(n, 0x400000, dtype=np.uint64),
+        addr=blocks << np.uint64(6),
+        write=np.asarray(writes, dtype=bool) if writes is not None else np.zeros(n, dtype=bool),
+        gap=np.asarray(gaps, dtype=np.uint32) if gaps is not None else np.ones(n, dtype=np.uint32),
+        cpi=cpi,
+    )
+
+
+def single_core_workload(machine, blocks, name="explicit"):
+    """Workload with the explicit trace on core 0 and an idle-ish trace on
+    the other cores (one far-away access each, so core counts match)."""
+    traces = [make_explicit_trace(blocks, name=name)]
+    for core in range(1, machine.cores):
+        traces.append(make_explicit_trace([10_000_000 + core], name=f"idle{core}"))
+    return Workload(name=name, traces=tuple(traces))

@@ -1,0 +1,128 @@
+"""Write-invalidate coherence, shared-data workloads, and the claim that
+ReDHiP needs no protocol changes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.redhip import redhip_scheme
+from repro.energy.params import get_machine
+from repro.hierarchy.coherence import CoherentHierarchy
+from repro.predictors.base import base_scheme
+from repro.sim.config import SimConfig
+from repro.sim.content import ContentSimulator
+from repro.sim.evaluate import evaluate_scheme
+from repro.util.validation import ConfigError
+from repro.workloads.shared import SHARED_BASE, build_shared_workload
+
+MACHINE = get_machine("tiny")
+
+
+def test_write_invalidates_remote_copies():
+    h = CoherentHierarchy(MACHINE, policy="inclusive")
+    h.access(0, 5)            # core 0 reads: private copy
+    h.access(1, 5)            # core 1 reads: both cores hold it
+    assert h.cache_at(0, 1).contains(5)
+    assert h.cache_at(1, 1).contains(5)
+    h.access(0, 5, write=True)
+    assert h.cache_at(0, 1).contains(5)
+    assert not h.cache_at(1, 1).contains(5)  # invalidated
+    assert h.llc.contains(5)                 # LLC copy survives (inclusive)
+    assert h.coherence.write_invalidations == 1
+
+
+def test_remote_dirty_folds_into_llc():
+    h = CoherentHierarchy(MACHINE, policy="inclusive")
+    h.access(1, 9, write=True)   # core 1 holds 9 dirty
+    h.access(0, 9, write=True)   # core 0 writes: pull + invalidate
+    assert h.coherence.dirty_transfers == 1
+    assert h.llc.is_dirty(9)
+
+
+def test_reads_share_peacefully():
+    h = CoherentHierarchy(MACHINE, policy="inclusive")
+    for core in range(MACHINE.cores):
+        h.access(core, 3)
+    assert h.coherence.write_invalidations == 0
+    for core in range(MACHINE.cores):
+        assert h.cache_at(core, 1).contains(3)
+
+
+def test_coherent_requires_inclusive():
+    with pytest.raises(ConfigError):
+        CoherentHierarchy(MACHINE, policy="exclusive")
+
+
+def test_inclusion_invariant_survives_coherence():
+    h = CoherentHierarchy(MACHINE, policy="inclusive")
+    rng = np.random.default_rng(3)
+    for _ in range(2000):
+        core = int(rng.integers(MACHINE.cores))
+        block = int(rng.integers(64))  # heavy sharing
+        h.access(core, block, write=bool(rng.random() < 0.4))
+    assert h.check_inclusion() == []
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 1), st.integers(0, 200), st.booleans()),
+        max_size=400,
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_llc_superset_property_under_coherence(ops):
+    """The ReDHiP invariant: coherence invalidations never create a block
+    that is on chip but absent from the LLC."""
+    h = CoherentHierarchy(MACHINE, policy="inclusive")
+    for core, block, write in ops:
+        h.access(core, block, write)
+    for core in range(MACHINE.cores):
+        for lvl in range(1, MACHINE.num_levels):
+            for block in h.cache_at(core, lvl).resident_blocks():
+                assert h.llc.contains(block)
+
+
+def test_shared_workload_structure():
+    w = build_shared_workload(MACHINE, refs_per_core=2000, seed=1,
+                              shared_fraction=0.3)
+    assert w.cores == MACHINE.cores
+    shared_masks = []
+    for t in w.traces:
+        mask = t.addr >= np.uint64(SHARED_BASE)
+        shared_masks.append(mask)
+        frac = float(mask.mean())
+        assert 0.2 < frac < 0.4
+    # The shared region is genuinely shared: overlapping blocks exist.
+    s0 = set((w.traces[0].addr[shared_masks[0]] >> np.uint64(6)).tolist())
+    s1 = set((w.traces[1].addr[shared_masks[1]] >> np.uint64(6)).tolist())
+    assert s0 & s1
+
+
+def test_shared_fraction_zero_is_private():
+    w = build_shared_workload(MACHINE, refs_per_core=500, seed=1,
+                              shared_fraction=0.0)
+    for t in w.traces:
+        assert not (t.addr >= np.uint64(SHARED_BASE)).any()
+
+
+def test_redhip_no_false_negative_under_coherence():
+    """End to end: coherent content walk + ReDHiP evaluation completes
+    (the evaluator raises on any false negative)."""
+    cfg = SimConfig(machine=MACHINE, refs_per_core=3000, coherent=True)
+    w = build_shared_workload(MACHINE, refs_per_core=3000, seed=2,
+                              shared_fraction=0.35)
+    sim = ContentSimulator(cfg)
+    stream = sim.run(w)
+    assert sim._last_hierarchy.coherence.write_invalidations > 0
+    base = evaluate_scheme(stream, MACHINE, base_scheme(), w)
+    red = evaluate_scheme(stream, MACHINE,
+                          redhip_scheme(recal_period=cfg.recal_period), w)
+    assert red.dynamic_nj < base.dynamic_nj
+    assert red.skips > 0
+
+
+def test_coherent_flag_changes_cache_key():
+    a = SimConfig(machine=MACHINE, refs_per_core=10, coherent=False)
+    b = SimConfig(machine=MACHINE, refs_per_core=10, coherent=True)
+    assert a.cache_key() != b.cache_key()

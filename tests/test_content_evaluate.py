@@ -1,0 +1,245 @@
+"""Content simulation and scheme evaluation, with hand-computed checks.
+
+The tiny machine's per-level costs (from ``tiny_machine``):
+L1 2 cyc / 0.015 nJ; L2 6 cyc / 0.064 nJ; L3 tag 9 data 12 / 1.187 nJ;
+L4 tag 13 data 22 / 6.713 nJ; PT lookup 6 cyc / 0.02 nJ.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.redhip import redhip_scheme
+from repro.hierarchy.events import EVENT_EVICT, EVENT_FILL
+from repro.predictors.base import PresencePredictor, SchemeSpec, base_scheme, oracle_scheme, phased_scheme
+from repro.predictors.cbf_scheme import cbf_scheme
+from repro.sim.config import SimConfig
+from repro.sim.content import ContentSimulator, merge_order
+from repro.sim.evaluate import evaluate_scheme, replay_predictor
+from repro.util.validation import ReproError
+
+from conftest import single_core_workload
+
+
+@pytest.fixture
+def simple_stream(tiny_machine):
+    """Blocks [0, 0, 8, 0] on core 0 plus one idle access on core 1."""
+    cfg = SimConfig(machine=tiny_machine, refs_per_core=4)
+    wl = single_core_workload(tiny_machine, [0, 0, 8, 0])
+    stream = ContentSimulator(cfg).run(wl)
+    return cfg, wl, stream
+
+
+def test_merge_order_is_deterministic_and_complete(tiny_machine, tiny_workload):
+    c1, i1 = merge_order(tiny_workload)
+    c2, i2 = merge_order(tiny_workload)
+    assert (c1 == c2).all() and (i1 == i2).all()
+    assert len(c1) == tiny_workload.total_refs
+    # Per-core indices appear in order (trace order preserved per core).
+    for core in range(tiny_workload.cores):
+        idx = i1[c1 == core]
+        assert (np.diff(idx) == 1).all()
+
+
+def test_content_outcomes_hand_checked(simple_stream):
+    _, _, stream = simple_stream
+    core0 = stream.hit_level[stream.core == 0]
+    assert list(core0) == [0, 1, 0, 1]
+    core1 = stream.hit_level[stream.core == 1]
+    assert list(core1) == [0]
+
+
+def test_llc_event_stream_consistency(tiny_config, tiny_workload):
+    stream = ContentSimulator(tiny_config).run(tiny_workload)
+    fills = stream.llc_block[stream.llc_op == EVENT_FILL]
+    evicts = stream.llc_block[stream.llc_op == EVENT_EVICT]
+    # Conservation: fills - evictions = final resident set.
+    resident = {}
+    for op, b in zip(stream.llc_op.tolist(), stream.llc_block.tolist()):
+        if op == EVENT_FILL:
+            assert b not in resident, "double fill without eviction"
+            resident[b] = True
+        else:
+            assert resident.pop(b, None) is not None, "evict of absent block"
+    assert sorted(resident) == stream.final_llc_blocks.tolist()
+    assert len(fills) == len(evicts) + len(resident)
+    # Events are time-ordered.
+    assert (np.diff(stream.llc_when) >= 0).all()
+
+
+def test_base_hit_rates_and_lookup_accounting(tiny_config, tiny_workload):
+    stream = ContentSimulator(tiny_config).run(tiny_workload)
+    rates = stream.base_hit_rates()
+    assert set(rates) == {1, 2, 3, 4}
+    assert all(0.0 <= r <= 1.0 for r in rates.values())
+    # Lookups shrink monotonically with depth.
+    lookups = [stream.level_lookups(l) for l in (1, 2, 3, 4)]
+    assert lookups[0] >= lookups[1] >= lookups[2] >= lookups[3]
+    assert stream.level_lookups(1) == stream.num_accesses
+
+
+def test_base_scheme_hand_checked_latency_energy(simple_stream, tiny_machine):
+    cfg, wl, stream = simple_stream
+    res = evaluate_scheme(stream, tiny_machine, base_scheme(), wl)
+    # Latency: 3 memory misses at 2+6+9+13=30, 2 L1 hits at 2.
+    # Compute: core0 gaps 4x1 cyc at CPI 1; core1 one gap.
+    core0 = 4 * 1.0 + (30 + 2 + 30 + 2)
+    core1 = 1 * 1.0 + 30
+    assert math.isclose(res.timing.core_cycles[0], core0)
+    assert math.isclose(res.timing.core_cycles[1], core1)
+    assert math.isclose(res.exec_cycles, core0)
+    # Energy: 5 L1 probes, 3 probes each at L2/L3/L4.
+    expect = 5 * 0.015 + 3 * 0.064 + 3 * 1.187 + 3 * 6.713
+    assert math.isclose(res.dynamic_nj, expect, rel_tol=1e-12)
+    assert res.l1_misses == 3 and res.true_misses == 3
+    assert res.hit_rates[1] == pytest.approx(2 / 5)
+
+
+def test_oracle_skips_all_true_misses(simple_stream, tiny_machine):
+    cfg, wl, stream = simple_stream
+    res = evaluate_scheme(stream, tiny_machine, oracle_scheme(), wl)
+    assert res.skips == 3 and res.false_positives == 0
+    assert res.skip_coverage == 1.0
+    # Latency: every access costs just the L1 probe.
+    assert math.isclose(res.timing.core_cycles[0], 4 + 4 * 2)
+    # Energy: only L1 probes remain.
+    assert math.isclose(res.dynamic_nj, 5 * 0.015, rel_tol=1e-12)
+
+
+def test_phased_scheme_accounting(simple_stream, tiny_machine):
+    cfg, wl, stream = simple_stream
+    res = evaluate_scheme(stream, tiny_machine, phased_scheme(), wl)
+    # All three L3/L4 probes are misses: tag-only energy, tag-only delay —
+    # identical latency to base (parallel misses also resolve at the tag).
+    expect_e = 5 * 0.015 + 3 * 0.064 + 3 * 0.348 + 3 * 1.171
+    assert math.isclose(res.dynamic_nj, expect_e, rel_tol=1e-12)
+    base = evaluate_scheme(stream, tiny_machine, base_scheme(), wl)
+    assert math.isclose(res.exec_cycles, base.exec_cycles)
+
+
+def test_phased_hit_pays_serialized_delay(tiny_machine):
+    # Block 0 then push it out of L1+L2 but keep it in L3: touch it, then
+    # fill L1/L2 sets with conflicting blocks that stay inside L3.
+    l1 = 16  # L1 has 8 sets; blocks 0, 16, 32 share L1 set 0 (16 % 8 == 0)
+    blocks = [0]
+    # L2 has 16 sets, 4 ways: blocks 0,16,32,48,64 share L2 set 0.
+    blocks += [16, 32, 48, 64]
+    blocks += [0]  # now misses L1+L2, hits L3
+    cfg = SimConfig(machine=tiny_machine, refs_per_core=len(blocks))
+    wl = single_core_workload(tiny_machine, blocks)
+    stream = ContentSimulator(cfg).run(wl)
+    core0 = stream.hit_level[stream.core == 0]
+    assert list(core0)[-1] == 3
+    base = evaluate_scheme(stream, tiny_machine, base_scheme(), wl)
+    ph = evaluate_scheme(stream, tiny_machine, phased_scheme(), wl)
+    # The single L3 hit costs 9+12 serialized vs 12 parallel: +9 cycles.
+    assert math.isclose(ph.exec_cycles - base.exec_cycles, 9.0)
+
+
+def test_redhip_matches_oracle_on_cold_misses(simple_stream, tiny_machine):
+    cfg, wl, stream = simple_stream
+    res = evaluate_scheme(
+        stream, tiny_machine, redhip_scheme(recal_period=None), wl
+    )
+    # All three misses (two on core 0, one on core 1) are cold, distinct
+    # table indices: all skipped.
+    assert res.skips == 3 and res.false_positives == 0
+    # Latency adds the 6-cycle table lookup on core 0's two L1 misses.
+    assert math.isclose(res.timing.core_cycles[0], 4 + 4 * 2 + 2 * 6)
+    # Energy: L1 probes + PT lookups + PT updates (3 fills).
+    expect = 5 * 0.015 + 3 * 0.02 + 3 * 0.02
+    assert math.isclose(res.dynamic_nj, expect, rel_tol=1e-12)
+    assert res.predictor_stats["recal_sweeps"] == 0
+
+
+def test_false_negative_predictor_is_rejected(simple_stream, tiny_machine):
+    cfg, wl, stream = simple_stream
+
+    class LyingPredictor(PresencePredictor):
+        name = "liar"
+        def predict_present(self, block):
+            return False  # even for resident blocks
+        def on_llc_fill(self, block):
+            pass
+        def on_llc_evict(self, block):
+            pass
+
+    # Force an L1-missing access to resident data: block 0, push out of L1
+    # only, then re-touch.
+    blocks = [0, 8, 16, 24, 0]  # L1 set 0 conflicts (8 sets, 2 ways)
+    wl2 = single_core_workload(tiny_machine, blocks)
+    stream2 = ContentSimulator(cfg).run(wl2)
+    assert 2 in stream2.hit_level.tolist() or 3 in stream2.hit_level.tolist()
+    spec = SchemeSpec(name="liar", kind="predictor", make_predictor=lambda m: LyingPredictor())
+    with pytest.raises(ReproError, match="false negative"):
+        evaluate_scheme(stream2, tiny_machine, spec, wl2)
+
+
+def test_replay_predictor_sees_pre_fill_state(simple_stream, tiny_machine):
+    """The lookup for access i must observe the table BEFORE access i's own
+    fill — the hardware race the evaluator mirrors."""
+    cfg, wl, stream = simple_stream
+
+    class Recorder(PresencePredictor):
+        name = "rec"
+        def __init__(self):
+            self.seen = []
+            self.filled = set()
+        def predict_present(self, block):
+            self.seen.append((block, block in self.filled))
+            return True
+        def on_llc_fill(self, block):
+            self.filled.add(block)
+        def on_llc_evict(self, block):
+            self.filled.discard(block)
+
+    rec = Recorder()
+    replay_predictor(stream, rec)
+    # Each first-touch lookup must have happened before its own fill.
+    first = {}
+    for block, was_filled in rec.seen:
+        if block not in first:
+            first[block] = was_filled
+    assert all(v is False for v in first.values())
+
+
+def test_cbf_scheme_runs_and_is_conservative(tiny_config, tiny_workload, tiny_machine):
+    stream = ContentSimulator(tiny_config).run(tiny_workload)
+    res = evaluate_scheme(stream, tiny_machine, cbf_scheme(), tiny_workload)
+    assert res.skips >= 0
+    assert res.skips + res.false_positives == res.true_misses
+
+
+def test_hit_rates_improve_under_redhip(tiny_config, tiny_workload, tiny_machine):
+    """Figure 10's mechanism: skipped accesses no longer count as lookups
+    at L2..L4, so hit rates rise (never fall)."""
+    stream = ContentSimulator(tiny_config).run(tiny_workload)
+    base = evaluate_scheme(stream, tiny_machine, base_scheme(), tiny_workload)
+    red = evaluate_scheme(
+        stream, tiny_machine,
+        redhip_scheme(recal_period=tiny_config.recal_period), tiny_workload,
+    )
+    assert red.hit_rates[1] == base.hit_rates[1]
+    for lvl in (2, 3, 4):
+        assert red.hit_rates[lvl] >= base.hit_rates[lvl] - 1e-12
+        assert red.level_hits[lvl] == base.level_hits[lvl]  # hits unchanged
+
+
+def test_fill_energy_weight_adds_constant(tiny_config, tiny_workload, tiny_machine):
+    stream = ContentSimulator(tiny_config).run(tiny_workload)
+    plain = evaluate_scheme(stream, tiny_machine, base_scheme(), tiny_workload)
+    filled = evaluate_scheme(
+        stream, tiny_machine, base_scheme(), tiny_workload, fill_energy_weight=1.0
+    )
+    assert filled.dynamic_nj > plain.dynamic_nj
+    assert filled.ledger.category_nj("fill") > 0
+
+
+def test_perf_energy_metric(simple_stream, tiny_machine):
+    cfg, wl, stream = simple_stream
+    base = evaluate_scheme(stream, tiny_machine, base_scheme(), wl)
+    orc = evaluate_scheme(stream, tiny_machine, oracle_scheme(), wl)
+    metric = orc.perf_energy_metric(base)
+    assert metric > 1.0
+    assert base.perf_energy_metric(base) == pytest.approx(1.0)

@@ -1,0 +1,68 @@
+"""Documentation consistency: the ids, files and commands the docs promise
+must actually exist.  Keeps README/DESIGN/EXPERIMENTS honest as the code
+evolves."""
+
+import re
+from pathlib import Path
+
+from repro.experiments import experiment_ids
+from repro.workloads import PAPER_WORKLOADS
+from repro.workloads.spec import SPEC_NAMES
+
+ROOT = Path(__file__).parent.parent
+
+
+def _text(name: str) -> str:
+    return (ROOT / name).read_text()
+
+
+def test_experiments_md_ids_exist():
+    text = _text("EXPERIMENTS.md")
+    ids = set(experiment_ids())
+    for match in re.findall(r"\b(ext-[a-z-]+[a-z])\b", text):
+        assert match in ids, f"EXPERIMENTS.md references unknown id {match!r}"
+    for fig in ("fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+                "fig13", "fig14-15", "table1"):
+        assert fig in ids
+
+
+def test_design_md_lists_every_shipped_package():
+    text = _text("DESIGN.md")
+    for pkg in ("repro.core", "repro.hierarchy", "repro.energy",
+                "repro.predictors", "repro.prefetch", "repro.workloads",
+                "repro.sim", "repro.analysis", "repro.experiments"):
+        assert pkg in text, f"DESIGN.md missing package {pkg}"
+
+
+def test_design_md_names_every_paper_workload():
+    text = _text("DESIGN.md")
+    for name in SPEC_NAMES:
+        assert name in text
+
+
+def test_readme_commands_are_real():
+    text = _text("README.md")
+    # Every `python -m repro run <id>` in the README must resolve.
+    ids = set(experiment_ids())
+    for match in re.findall(r"python -m repro run ([a-z0-9-]+)", text):
+        assert match in ids
+    # Referenced example files exist.
+    for match in re.findall(r"examples/([a-z_]+\.py)", text):
+        assert (ROOT / "examples" / match).exists(), match
+    # Referenced docs exist.
+    for name in ("DESIGN.md", "EXPERIMENTS.md"):
+        assert name in text and (ROOT / name).exists()
+
+
+def test_paper_workload_order_matches_figure_bars():
+    # The figures list bwaves first and blas last (Figure 6's x-axis).
+    assert PAPER_WORKLOADS[0] == "bwaves"
+    assert PAPER_WORKLOADS[-1] == "blas"
+    assert len(PAPER_WORKLOADS) == 11  # + the computed "average" = 12 bars
+
+
+def test_internals_doc_matches_charging_model():
+    text = _text("docs/INTERNALS.md")
+    for phrase in ("two-phase", "tag_delay", "no false negatives",
+                   "recalibration sweep"):
+        assert phrase.lower() in text.lower(), phrase

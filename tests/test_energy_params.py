@@ -1,0 +1,122 @@
+"""Machine parameter sets: Table I fidelity and structural invariants."""
+
+import pytest
+
+from repro.energy.params import (
+    CacheLevelParams,
+    MachineConfig,
+    PredictionTableParams,
+    get_machine,
+    paper_machine,
+    scaled_machine,
+    tiny_machine,
+)
+from repro.util.validation import ConfigError
+
+
+def test_paper_machine_matches_table1():
+    m = paper_machine()
+    assert m.cores == 8
+    assert m.frequency_hz == 3.7e9
+    l1, l2, l3, l4 = m.levels
+    assert (l1.size, l1.assoc, l1.access_delay) == (32 * 1024, 4, 2)
+    assert abs(l1.access_energy - 0.0144) < 1e-12
+    assert (l2.size, l2.assoc, l2.access_delay) == (256 * 1024, 8, 6)
+    assert abs(l2.access_energy - 0.0634) < 1e-12
+    assert (l3.size, l3.assoc, l3.tag_delay, l3.data_delay) == (4 << 20, 16, 9, 12)
+    assert (l3.tag_energy, l3.data_energy) == (0.348, 0.839)
+    assert (l4.size, l4.assoc, l4.tag_delay, l4.data_delay) == (64 << 20, 16, 13, 22)
+    assert (l4.tag_energy, l4.data_energy) == (1.171, 5.542)
+    assert l4.shared and not l3.shared
+    pt = m.prediction_table
+    assert pt.size == 512 * 1024
+    assert pt.access_delay == 1 and pt.wire_delay == 5
+    assert pt.access_energy == 0.02
+
+
+def test_paper_structural_constants():
+    m = paper_machine()
+    # 0.78% overhead, p = 22, k = 16, p - k = 6 — all quoted in the paper.
+    assert abs(m.pt_overhead_ratio - 0.0078125) < 1e-9
+    assert m.prediction_table.index_bits == 22
+    assert m.llc.set_index_bits == 16
+    assert m.p_minus_k == 6
+
+
+def test_scaled_machine_preserves_invariants():
+    m = scaled_machine()
+    p = paper_machine()
+    assert m.p_minus_k == p.p_minus_k == 6
+    assert abs(m.pt_overhead_ratio - p.pt_overhead_ratio) < 1e-9
+    # Energies are carried verbatim so every ratio is preserved.
+    for ms, ps in zip(m.levels, p.levels):
+        assert ms.tag_energy == ps.tag_energy
+        assert ms.data_energy == ps.data_energy
+    # Private capacity ~50% of LLC, like the paper's 34MB:64MB.
+    private = sum(lvl.size for lvl in m.levels[:-1]) * m.cores
+    assert 0.3 < private / m.llc.size < 0.8
+
+
+def test_tiny_machine_valid():
+    m = tiny_machine()
+    assert m.p_minus_k == 6
+    assert m.cores == 2
+
+
+def test_geometry_properties():
+    m = paper_machine()
+    l4 = m.llc
+    assert l4.num_lines == (64 << 20) // 64 == 1 << 20  # "1 million tags"
+    assert l4.num_sets == 1 << 16
+    assert m.level(1).name == "L1"
+    with pytest.raises(ConfigError):
+        m.level(5)
+
+
+def test_with_prediction_table_override():
+    m = paper_machine()
+    m2 = m.with_prediction_table(size=64 * 1024)
+    assert m2.prediction_table.size == 64 * 1024
+    assert m.prediction_table.size == 512 * 1024  # original untouched
+
+
+def test_get_machine_registry():
+    assert get_machine("paper").name == "paper"
+    with pytest.raises(ConfigError):
+        get_machine("nonexistent")
+
+
+def test_cache_level_validation():
+    with pytest.raises(ConfigError):
+        CacheLevelParams(
+            name="bad", size=1000, assoc=4, shared=False,
+            tag_delay=1, data_delay=1, tag_energy=0.1, data_energy=0.1,
+            leakage_w=0.1,
+        )
+
+
+def test_machine_validation_rules():
+    m = paper_machine()
+    levels = m.levels
+    with pytest.raises(ConfigError):
+        MachineConfig(
+            name="bad", cores=8, frequency_hz=1e9,
+            levels=(levels[0],),  # single level
+            prediction_table=m.prediction_table,
+        )
+    with pytest.raises(ConfigError):
+        MachineConfig(
+            name="bad", cores=8, frequency_hz=1e9,
+            levels=levels[:-1],  # last level not shared
+            prediction_table=m.prediction_table,
+        )
+
+
+def test_prediction_table_params():
+    pt = PredictionTableParams(size=512 * 1024, access_delay=1, wire_delay=5,
+                               access_energy=0.02, leakage_w=0.01)
+    assert pt.num_bits == 512 * 1024 * 8
+    assert pt.lookup_delay == 6
+    with pytest.raises(ConfigError):
+        PredictionTableParams(size=1000, access_delay=1, wire_delay=5,
+                              access_energy=0.02, leakage_w=0.01)

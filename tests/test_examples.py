@@ -1,0 +1,37 @@
+"""The example scripts must run end to end (small arguments).
+
+Examples are part of the public surface; running them in-process (fresh
+``__main__``-style execution via runpy with patched argv) keeps them from
+rotting as the API evolves.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["mcf", "3000"]),
+    ("spec_energy_study.py", ["scaled", "2000"]),
+    ("graph_analytics.py", ["3000"]),
+    ("prefetch_synergy.py", ["bwaves", "2500"]),
+    ("custom_predictor.py", ["soplex", "3000"]),
+    ("tracefile_workflow.py", ["milc", "2000"]),
+    ("workload_anatomy.py", ["soplex", "4000"]),
+]
+
+
+@pytest.mark.parametrize("script,args", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, args, monkeypatch, capsys):
+    monkeypatch.setattr(sys, "argv", [script, *args])
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100  # produced a real report
+
+
+def test_examples_directory_is_covered():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == {c[0] for c in CASES}, "new example missing a test"

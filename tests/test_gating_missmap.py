@@ -1,0 +1,183 @@
+"""The utility gate (§IV) and the MissMap comparison predictor."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gating import GatedPredictor, gated_redhip_scheme
+from repro.core.redhip import ReDHiPController
+from repro.energy.params import get_machine
+from repro.predictors.missmap import BLOCKS_PER_PAGE, ENTRY_BYTES, MissMapPredictor, missmap_scheme
+from repro.predictors.base import base_scheme
+from repro.sim.config import SimConfig
+from repro.sim.content import ContentSimulator
+from repro.sim.evaluate import evaluate_scheme
+from repro.util.validation import ConfigError
+
+from conftest import single_core_workload
+
+MACHINE = get_machine("tiny")
+
+
+# ------------------------------------------------------------------- gating
+def gated(window=8, min_yield=0.5, probe_every=3):
+    inner = ReDHiPController(MACHINE, recal_period=None)
+    return GatedPredictor(inner, window=window, min_yield=min_yield,
+                          probe_every=probe_every)
+
+
+def test_gate_closes_on_zero_yield():
+    g = gated(window=4, min_yield=0.5)
+    # Make every lookup "present" (zero yield): fill the blocks first.
+    for b in range(8):
+        g.on_llc_fill(b)
+    for b in [0, 1, 2, 3]:
+        assert g.predict_present(b)
+        g.note_l1_miss()
+    assert not g.enabled
+    assert g.gate_transitions == 1
+    # Gated lookups answer present instantly, without consulting.
+    assert g.predict_present(999)  # block 999 was never filled!
+    assert not g.last_consulted
+    assert g.gated_lookups == 1
+
+
+def test_gate_reopens_on_probe_window():
+    g = gated(window=2, min_yield=0.9, probe_every=2)
+    g.on_llc_fill(0)
+    # Close the gate (present answers -> zero yield).
+    for _ in range(2):
+        g.predict_present(0)
+        g.note_l1_miss()
+    assert not g.enabled
+    # The next gated window is a probe window: the gate re-opens.
+    for _ in range(2):
+        g.predict_present(0)
+        g.note_l1_miss()
+    assert g.enabled
+    assert g.gate_transitions == 2
+    # With the yield still zero, the following window closes it again —
+    # the duty cycle that bounds gated-mode overhead.
+    for _ in range(2):
+        g.predict_present(0)
+        g.note_l1_miss()
+    assert not g.enabled
+
+
+def test_gate_stays_open_on_high_yield():
+    g = gated(window=4, min_yield=0.3)
+    for b in range(8):  # cold lookups: all predicted miss -> yield 1.0
+        g.predict_present(b + 1000)
+        g.note_l1_miss()
+    assert g.enabled
+    assert g.gate_transitions == 0
+
+
+def test_gate_maintenance_continues_while_closed():
+    g = gated(window=2, min_yield=0.9)
+    g.on_llc_fill(5)
+    for _ in range(2):
+        g.predict_present(5)
+        g.note_l1_miss()
+    assert not g.enabled
+    g.on_llc_fill(6)  # fills keep flowing to the inner table
+    assert g.inner.predict_present(6)
+    assert g.table_updates == 2
+
+
+def test_gated_scheme_is_conservative_e2e(tiny_config, tiny_workload):
+    stream = ContentSimulator(tiny_config).run(tiny_workload)
+    spec = gated_redhip_scheme(recal_period=tiny_config.recal_period, window=64)
+    res = evaluate_scheme(stream, MACHINE, spec, tiny_workload)  # no ReproError
+    assert res.skips + res.false_positives == res.true_misses
+    stats = res.predictor_stats
+    assert stats["consulted_lookups"] + stats["gated_lookups"] == res.l1_misses
+
+
+def test_gated_lookup_energy_only_for_consults(tiny_config, tiny_workload):
+    stream = ContentSimulator(tiny_config).run(tiny_workload)
+    spec = gated_redhip_scheme(recal_period=tiny_config.recal_period, window=64)
+    res = evaluate_scheme(stream, MACHINE, spec, tiny_workload)
+    assert res.ledger.counts[("PT", "lookup")] == int(
+        res.predictor_stats["consulted_lookups"]
+    )
+
+
+def test_gate_validation():
+    inner = ReDHiPController(MACHINE, recal_period=None)
+    with pytest.raises(ConfigError):
+        GatedPredictor(inner, window=0)
+    with pytest.raises(ConfigError):
+        GatedPredictor(inner, min_yield=1.5)
+
+
+# ------------------------------------------------------------------ MissMap
+def test_missmap_exact_on_covered_revisits():
+    mm = MissMapPredictor(budget_bytes=4096)
+    block = 5 * BLOCKS_PER_PAGE + 3
+    mm.on_llc_fill(block)
+    assert mm.predict_present(block)
+    mm.on_llc_evict(block)
+    # Exact: the eviction cleared the bit — ReDHiP would stay stale here.
+    assert not mm.predict_present(block)
+
+
+def test_missmap_conservative_on_fresh_pages():
+    mm = MissMapPredictor(budget_bytes=4096)
+    mm.on_llc_fill(0)  # allocates page 0 with all-ones
+    assert mm.predict_present(1)  # sibling never filled: conservative
+    assert mm.predict_present(63)
+
+
+def test_missmap_uncovered_pages_answer_present():
+    mm = MissMapPredictor(budget_bytes=4096)
+    assert mm.predict_present(10_000 * BLOCKS_PER_PAGE)
+    assert mm.uncovered == 1
+
+
+def test_missmap_capacity_and_eviction():
+    mm = MissMapPredictor(budget_bytes=ENTRY_BYTES * 8, assoc=8)  # 1 set, 8 ways
+    for page in range(10):
+        mm.on_llc_fill(page * BLOCKS_PER_PAGE)
+    assert mm.entry_evictions == 2
+    assert mm.capacity_pages == 8
+
+
+@given(ops=st.lists(
+    st.tuples(st.sampled_from(["fill", "evict", "lookup"]),
+              st.integers(min_value=0, max_value=1023)),
+    max_size=300,
+))
+@settings(max_examples=50, deadline=None)
+def test_missmap_never_false_negative(ops):
+    mm = MissMapPredictor(budget_bytes=256, assoc=2)  # tiny: heavy eviction
+    resident: set[int] = set()
+    for op, block in ops:
+        if op == "fill":
+            if block not in resident:
+                resident.add(block)
+                mm.on_llc_fill(block)
+        elif op == "evict":
+            if resident:
+                victim = next(iter(resident))
+                resident.discard(victim)
+                mm.on_llc_evict(victim)
+        else:
+            if block in resident:
+                assert mm.predict_present(block), "MissMap false negative"
+            else:
+                mm.predict_present(block)
+
+
+def test_missmap_scheme_e2e(tiny_config, tiny_workload):
+    stream = ContentSimulator(tiny_config).run(tiny_workload)
+    res = evaluate_scheme(stream, MACHINE, missmap_scheme(), tiny_workload)
+    assert res.skips + res.false_positives == res.true_misses
+    assert 0.0 <= res.predictor_stats["coverage"] <= 1.0
+
+
+def test_missmap_budget_sizing():
+    mm = MissMapPredictor(budget_bytes=512 * 1024, assoc=8)
+    assert mm.capacity_pages * ENTRY_BYTES <= 512 * 1024
+    with pytest.raises(ConfigError):
+        MissMapPredictor(budget_bytes=0)

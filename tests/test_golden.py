@@ -1,0 +1,79 @@
+"""Golden-value regression tests.
+
+The whole pipeline is deterministic (seeded generators, no wall-clock or
+entropy anywhere), so representative end-to-end numbers can be pinned
+exactly.  If any of these move, something in the content simulation,
+charging policy or workload generation changed behaviour — which must be a
+conscious decision, not a side effect.  Update the constants only after
+understanding the diff.
+
+Pinned on the tiny machine (fast) with loose-enough context that the
+numbers are structural, not incidental: counts are pinned exactly, derived
+floats to 1e-9.
+"""
+
+import pytest
+
+from repro.core.redhip import redhip_scheme
+from repro.energy.params import get_machine
+from repro.predictors.base import base_scheme, oracle_scheme
+from repro.sim.config import SimConfig
+from repro.sim.runner import ExperimentRunner
+
+MACHINE = get_machine("tiny")
+CFG = SimConfig(machine=MACHINE, refs_per_core=4000, seed=123)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(CFG)
+
+
+@pytest.fixture(scope="module")
+def results(runner):
+    return {
+        "base": runner.run("mcf", base_scheme()),
+        "oracle": runner.run("mcf", oracle_scheme()),
+        "redhip": runner.run("mcf", redhip_scheme(recal_period=CFG.recal_period)),
+    }
+
+
+def test_golden_content_counts(results):
+    base = results["base"]
+    # Content trajectory: exact integer pins.
+    assert base.level_lookups[1] == 8000
+    assert base.l1_misses == base.level_lookups[2]
+    assert base.l1_misses == 1400
+    assert base.true_misses == 704
+    assert base.level_hits == {1: 6600, 2: 164, 3: 452, 4: 80}
+
+
+def test_golden_scheme_counts(results):
+    redhip, oracle = results["redhip"], results["oracle"]
+    assert oracle.skips == 704           # oracle skips every true miss
+    assert redhip.skips == 660           # pinned coverage of this run
+    assert redhip.false_positives == 704 - 660
+    assert redhip.predictor_stats["recal_sweeps"] == 1
+
+
+def test_golden_derived_metrics(results):
+    base, redhip, oracle = results["base"], results["redhip"], results["oracle"]
+    assert redhip.speedup_over(base) == pytest.approx(1.0690577642, rel=1e-9)
+    assert redhip.dynamic_ratio(base) == pytest.approx(0.2596339566, rel=1e-9)
+    assert oracle.dynamic_ratio(base) == pytest.approx(0.1920923656, rel=1e-9)
+
+
+def test_golden_values_are_current(results):
+    """Self-check helper: prints the constants to pin when they move.
+
+    Run ``pytest tests/test_golden.py -s`` after an intentional behaviour
+    change and copy the printed values into the tests above.
+    """
+    base, redhip, oracle = results["base"], results["redhip"], results["oracle"]
+    print(
+        f"\nl1_misses={base.l1_misses} true={base.true_misses} "
+        f"hits={base.level_hits} skips={redhip.skips} "
+        f"spd={redhip.speedup_over(base):.10f} "
+        f"dynR={redhip.dynamic_ratio(base):.10f} "
+        f"dynO={oracle.dynamic_ratio(base):.10f}"
+    )

@@ -1,0 +1,148 @@
+"""Hash functions and (counting) Bloom filters, incl. property-based tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predictors.bloom import BloomFilter, CountingBloomFilter
+from repro.predictors.hashes import (
+    bits_hash,
+    bits_hash_array,
+    make_hash,
+    xor_hash,
+    xor_hash_array,
+)
+from repro.util.validation import ConfigError
+
+BLOCKS = st.integers(min_value=0, max_value=(1 << 42) - 1)
+
+
+def test_bits_hash_is_low_bits():
+    assert bits_hash(0b1011010, 4) == 0b1010
+    assert bits_hash(0, 10) == 0
+
+
+def test_xor_hash_folds_chunks():
+    # p=8: 0xAB ^ 0xCD ^ 0x12 for value 0x12CDAB.
+    assert xor_hash(0x12CDAB, 8) == 0xAB ^ 0xCD ^ 0x12
+
+
+@given(BLOCKS, st.integers(min_value=1, max_value=30))
+def test_hashes_in_range(block, p):
+    assert 0 <= bits_hash(block, p) < (1 << p)
+    assert 0 <= xor_hash(block, p) < (1 << p)
+
+
+@given(st.lists(BLOCKS, min_size=1, max_size=50), st.integers(min_value=4, max_value=24))
+def test_vectorized_hashes_match_scalar(blocks, p):
+    arr = np.asarray(blocks, dtype=np.uint64)
+    assert [int(x) for x in bits_hash_array(arr, p)] == [bits_hash(b, p) for b in blocks]
+    assert [int(x) for x in xor_hash_array(arr, p)] == [xor_hash(b, p) for b in blocks]
+
+
+def test_bits_hash_preserves_set_index_substring():
+    """Figure 3's property: with p > k, predictor collisions imply cache-set
+    collisions (the low k bits of the hash ARE the set index)."""
+    p, k = 22, 16
+    rng = np.random.default_rng(0)
+    for _ in range(200):
+        a, b = (int(x) for x in rng.integers(0, 1 << 42, 2))
+        if bits_hash(a, p) == bits_hash(b, p):
+            assert (a & ((1 << k) - 1)) == (b & ((1 << k) - 1))
+
+
+def test_make_hash():
+    assert make_hash("bits", 8)(0x1FF) == 0xFF
+    assert make_hash("xor", 8)(0x1FF) == xor_hash(0x1FF, 8)
+    with pytest.raises(ConfigError):
+        make_hash("crc", 8)
+
+
+# ---------------------------------------------------------------- Bloom
+@given(st.lists(BLOCKS, min_size=0, max_size=200))
+@settings(max_examples=50)
+def test_bloom_no_false_negatives(blocks):
+    bf = BloomFilter(1024)
+    for b in blocks:
+        bf.add(b)
+    assert all(b in bf for b in blocks)
+
+
+def test_bloom_clear_and_occupancy():
+    bf = BloomFilter(256, hash_kind="bits")
+    assert bf.occupancy == 0.0
+    bf.add(1)
+    assert bf.occupancy == 1 / 256
+    bf.clear()
+    assert 1 not in bf
+
+
+# ------------------------------------------------------------------- CBF
+@given(st.lists(BLOCKS, min_size=0, max_size=150))
+@settings(max_examples=50)
+def test_cbf_conservative_membership(blocks):
+    """Whatever is currently inserted must always test present."""
+    cbf = CountingBloomFilter(512, counter_bits=4)
+    resident = []
+    for i, b in enumerate(blocks):
+        cbf.insert(b)
+        resident.append(b)
+        if i % 3 == 2:
+            gone = resident.pop(0)
+            cbf.delete(gone)
+        assert all(r in cbf for r in resident)
+
+
+def test_cbf_insert_delete_roundtrip():
+    cbf = CountingBloomFilter(256, counter_bits=4, hash_kind="bits")
+    cbf.insert(10)
+    assert 10 in cbf
+    cbf.delete(10)
+    assert 10 not in cbf
+
+
+def test_cbf_saturation_disables_entry():
+    cbf = CountingBloomFilter(64, counter_bits=2, hash_kind="bits")  # max 3
+    for _ in range(4):
+        cbf.insert(0)
+    assert cbf.saturations == 1
+    assert cbf.disabled_fraction > 0
+    # Disabled entries answer present forever — conservative, never wrong.
+    for _ in range(10):
+        cbf.delete(0)
+    assert 0 in cbf
+
+
+def test_cbf_underflow_disables_entry():
+    cbf = CountingBloomFilter(64, counter_bits=4, hash_kind="bits")
+    cbf.delete(5)  # delete of never-inserted: counter would go negative
+    assert 5 in cbf  # disabled -> conservative
+    assert cbf.saturations == 1
+
+
+def test_cbf_rebuild_matches_fresh_state():
+    cbf = CountingBloomFilter(128, counter_bits=4)
+    for b in range(50):
+        cbf.insert(b)
+    for b in range(25):
+        cbf.delete(b)
+    resident = list(range(25, 50))
+    cbf.rebuild(resident)
+    fresh = CountingBloomFilter(128, counter_bits=4)
+    for b in resident:
+        fresh.insert(b)
+    assert np.array_equal(cbf._counts, fresh._counts)
+
+
+def test_cbf_storage_accounting():
+    cbf = CountingBloomFilter(1 << 20, counter_bits=4)
+    assert cbf.storage_bits == (1 << 20) * 4  # the paper's 512KB budget
+    assert cbf.storage_bits // 8 == 512 * 1024
+
+
+def test_cbf_validation():
+    with pytest.raises(ConfigError):
+        CountingBloomFilter(100)  # not a power of two
+    with pytest.raises(ConfigError):
+        CountingBloomFilter(64, counter_bits=0)

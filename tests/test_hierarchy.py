@@ -1,0 +1,230 @@
+"""Multi-level hierarchy semantics: inclusion policies, back-invalidation,
+event callbacks and the prefetch fill path."""
+
+import pytest
+
+from repro.energy.params import get_machine
+from repro.hierarchy.hierarchy import CacheHierarchy
+from repro.hierarchy.inclusion import InclusionPolicy
+from repro.util.validation import ConfigError
+
+
+def record_events():
+    events = []
+    return events, (lambda lvl, b: events.append(("F", lvl, b))), (
+        lambda lvl, b: events.append(("E", lvl, b))
+    )
+
+
+def test_inclusion_policy_parse():
+    assert InclusionPolicy.parse("hybrid") is InclusionPolicy.HYBRID
+    assert InclusionPolicy.parse(InclusionPolicy.EXCLUSIVE) is InclusionPolicy.EXCLUSIVE
+    with pytest.raises(ValueError):
+        InclusionPolicy.parse("bogus")
+    assert InclusionPolicy.INCLUSIVE.llc_is_superset
+    assert InclusionPolicy.HYBRID.llc_is_superset
+    assert not InclusionPolicy.EXCLUSIVE.llc_is_superset
+
+
+def test_inclusive_miss_fills_all_levels(tiny_machine):
+    h = CacheHierarchy(tiny_machine, policy="inclusive")
+    assert h.access(0, 42) == 0  # cold miss -> memory
+    for lvl in range(1, h.num_levels + 1):
+        assert h.cache_at(0, lvl).contains(42), f"L{lvl}"
+    assert h.access(0, 42) == 1  # now an L1 hit
+
+
+def test_inclusive_hit_levels(tiny_machine):
+    h = CacheHierarchy(tiny_machine, policy="inclusive")
+    h.access(0, 7)
+    # Evict 7 from L1 only by filling its L1 set.
+    l1 = h.cache_at(0, 1)
+    s = l1.set_of(7)
+    fillers = [7 + (i + 1) * l1.num_sets for i in range(l1.assoc)]
+    for b in fillers:
+        h.access(0, b)
+    assert not l1.contains(7)
+    assert h.access(0, 7) == 2  # found in L2
+
+
+def test_inclusive_invariant_holds_under_traffic(tiny_machine, tiny_workload):
+    h = CacheHierarchy(tiny_machine, policy="inclusive")
+    for core in range(tiny_machine.cores):
+        for b in tiny_workload.traces[core].blocks[:1500].tolist():
+            h.access(core, b)
+    assert h.check_inclusion() == []
+
+
+def test_llc_eviction_back_invalidates_all_cores(tiny_machine):
+    events, on_fill, on_evict = record_events()
+    h = CacheHierarchy(tiny_machine, policy="inclusive", on_fill=on_fill, on_evict=on_evict)
+    llc = h.llc
+    target = 11
+    h.access(0, target)
+    h.access(1, target + (1 << 30))  # different block, other core
+    # Flood target's LLC set from core 0 to force its eviction.
+    s = llc.set_of(target)
+    fillers = [target + (i + 1) * llc.num_sets for i in range(llc.assoc)]
+    for b in fillers:
+        h.access(0, b)
+    assert not llc.contains(target)
+    assert not h.cache_at(0, 1).contains(target)
+    assert ("E", h.num_levels, target) in events
+    assert h.check_inclusion() == []
+
+
+def test_hybrid_moves_block_to_l1_and_keeps_llc(tiny_machine):
+    h = CacheHierarchy(tiny_machine, policy="hybrid")
+    h.access(0, 99)  # memory -> LLC + L1 (exclusive privates)
+    assert h.llc.contains(99)
+    assert h.cache_at(0, 1).contains(99)
+    assert not h.cache_at(0, 2).contains(99)  # exclusive: only in L1
+    # Push 99 out of L1; it must trickle into L2 and leave L1.
+    l1 = h.cache_at(0, 1)
+    for i in range(l1.assoc):
+        h.access(0, 99 + (i + 1) * l1.num_sets)
+    assert not l1.contains(99)
+    assert h.cache_at(0, 2).contains(99)
+    assert h.llc.contains(99)  # still inclusive with LLC
+    assert h.access(0, 99) == 2
+    assert h.check_inclusion() == []
+
+
+def test_hybrid_invariant_holds_under_traffic(tiny_machine, tiny_workload):
+    h = CacheHierarchy(tiny_machine, policy="hybrid")
+    for core in range(tiny_machine.cores):
+        for b in tiny_workload.traces[core].blocks[:1500].tolist():
+            h.access(core, b)
+    assert h.check_inclusion() == []
+
+
+def test_exclusive_holds_single_copy(tiny_machine):
+    h = CacheHierarchy(tiny_machine, policy="exclusive")
+    assert h.access(0, 5) == 0
+    assert h.cache_at(0, 1).contains(5)
+    assert not h.llc.contains(5)
+    # Push out of L1 -> should move into L2, not duplicate.
+    l1 = h.cache_at(0, 1)
+    for i in range(l1.assoc):
+        h.access(0, 5 + (i + 1) * l1.num_sets)
+    assert not l1.contains(5)
+    assert h.cache_at(0, 2).contains(5)
+    # Re-access: hit at L2, moves back to L1, leaves L2.
+    assert h.access(0, 5) == 2
+    assert l1.contains(5)
+    assert not h.cache_at(0, 2).contains(5)
+    assert h.check_inclusion() == []
+
+
+def test_exclusive_invariant_single_core_traffic(tiny_machine, tiny_workload):
+    h = CacheHierarchy(tiny_machine, policy="exclusive")
+    for b in tiny_workload.traces[0].blocks[:2000].tolist():
+        h.access(0, b)
+    assert h.check_inclusion() == []
+
+
+def test_exclusive_total_capacity_exceeds_inclusive(tiny_machine, tiny_workload):
+    """Exclusion stores distinct data, so on-chip unique blocks can exceed
+    the LLC's capacity — the capacity argument for exclusive designs."""
+    hi = CacheHierarchy(tiny_machine, policy="inclusive")
+    he = CacheHierarchy(tiny_machine, policy="exclusive")
+    blocks = tiny_workload.traces[0].blocks[:3000].tolist()
+    for b in blocks:
+        hi.access(0, b)
+        he.access(0, b)
+    def unique_on_chip(h):
+        blocks = set(h.llc.resident_blocks())
+        for lvl in range(1, h.num_levels):
+            blocks |= set(h.cache_at(0, lvl).resident_blocks())
+        return len(blocks)
+    assert unique_on_chip(he) >= unique_on_chip(hi)
+
+
+def test_dirty_propagation_on_private_eviction(tiny_machine):
+    h = CacheHierarchy(tiny_machine, policy="inclusive")
+    h.access(0, 3, write=True)
+    l1 = h.cache_at(0, 1)
+    assert l1.is_dirty(3)
+    for i in range(l1.assoc):
+        h.access(0, 3 + (i + 1) * l1.num_sets)
+    # 3 left L1; its dirtiness must live somewhere deeper now.
+    assert any(
+        h.cache_at(0, lvl).is_dirty(3)
+        for lvl in range(2, h.num_levels + 1)
+        if h.cache_at(0, lvl).contains(3)
+    )
+
+
+def test_prefetch_fill_lands_in_l1(tiny_machine):
+    h = CacheHierarchy(tiny_machine, policy="inclusive")
+    assert h.prefetch_fill(0, 77) == 0  # fetched from memory
+    assert h.cache_at(0, 1).contains(77)
+    assert h.llc.contains(77)
+    assert h.access(0, 77) == 1  # the point of prefetching into L1
+    assert h.prefetch_fill(0, 77) == 1  # duplicate: no-op
+    assert h.check_inclusion() == []
+
+
+def test_prefetch_rejected_for_non_inclusive(tiny_machine):
+    h = CacheHierarchy(tiny_machine, policy="exclusive")
+    with pytest.raises(ConfigError):
+        h.prefetch_fill(0, 1)
+
+
+def test_on_chip_and_llc_snapshot(tiny_machine):
+    h = CacheHierarchy(tiny_machine, policy="inclusive")
+    h.access(0, 8)
+    assert h.on_chip(0, 8)
+    assert 8 in h.llc_resident_blocks()
+    assert not h.on_chip(0, 9)
+
+
+def test_event_callbacks_fire_for_llc_only_levels_ge2(tiny_machine):
+    events, on_fill, on_evict = record_events()
+    h = CacheHierarchy(tiny_machine, policy="inclusive", on_fill=on_fill, on_evict=on_evict)
+    h.access(0, 1)
+    fills = [e for e in events if e[0] == "F"]
+    assert ("F", h.num_levels, 1) in fills
+    assert all(lvl >= 2 for _, lvl, _ in events)
+
+
+def test_nine_policy_breaks_superset_invariant(tiny_machine):
+    """NINE: a private copy survives LLC eviction — the would-be ReDHiP
+    false negative the policy exists to count."""
+    h = CacheHierarchy(tiny_machine, policy="nine")
+    h.access(0, 7)  # resident everywhere
+    llc = h.llc
+    # Evict 7 from the LLC only (fill its set with conflicting blocks from
+    # the OTHER core so core 0's private caches keep their copy of 7).
+    fillers = [7 + (i + 1) * llc.num_sets for i in range(llc.assoc)]
+    for b in fillers:
+        h.access(1, b)
+    assert not llc.contains(7)
+    assert h.cache_at(0, 1).contains(7)  # no back-invalidation under NINE
+    before = h.superset_violations
+    assert h.access(0, 7) == 1  # L1 hit: no violation counted (no lookup)
+    # Push 7 out of L1/L2 only; re-access hits a private level while the
+    # LLC lacks it -> violation.
+    l1 = h.cache_at(0, 1)
+    l2 = h.cache_at(0, 2)
+    for i in range(l2.assoc + 1):
+        h.access(0, 7 + (i + 1) * l2.num_sets * 64)
+    if not l1.contains(7) and not l2.contains(7) and h.cache_at(0, 3).contains(7) \
+            and not llc.contains(7):
+        assert h.access(0, 7) == 3
+        assert h.superset_violations > before
+    assert h.check_inclusion() == []  # NINE asserts nothing, by design
+
+
+def test_nine_predictor_schemes_refused(tiny_machine):
+    from repro.core.redhip import redhip_scheme
+    from repro.sim.config import SimConfig
+    from repro.sim.runner import ExperimentRunner
+    cfg = SimConfig(machine=tiny_machine, refs_per_core=100, policy="nine")
+    runner = ExperimentRunner(cfg)
+    with pytest.raises(ConfigError):
+        runner.run("mcf", redhip_scheme(recal_period=None))
+    # Base evaluation is fine (no prediction involved).
+    from repro.predictors.base import base_scheme
+    res = runner.run("mcf", base_scheme())
+    assert res.l1_misses > 0

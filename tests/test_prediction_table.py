@@ -1,0 +1,109 @@
+"""The ReDHiP prediction table: geometry, updates, recalibration equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.prediction_table import PredictionTable, pt_geometry
+from repro.util.validation import ConfigError
+
+BLOCKS = st.integers(min_value=0, max_value=(1 << 40) - 1)
+
+
+def test_geometry_paper_numbers():
+    geo = pt_geometry(512 * 1024, llc_set_bits=16)
+    assert geo["p"] == 22
+    assert geo["slots_per_set"] == 64  # one 64-bit line per set (Figure 4)
+    assert geo["num_bits"] == 1 << 22
+
+
+def test_geometry_degenerate_small_table():
+    geo = pt_geometry(1024, llc_set_bits=16)  # p=13 < k=16
+    assert geo["slots_per_set"] == 0  # flagged degenerate
+
+
+def test_basic_set_and_test():
+    pt = PredictionTable(512, llc_set_bits=6)  # tiny machine's table
+    assert not pt.test(123)
+    pt.set_bit(123)
+    assert pt.test(123)
+    # Aliased block (same low p bits) also tests positive.
+    alias = 123 + (1 << pt.p)
+    assert pt.test(alias)
+    # Different index is unaffected.
+    assert not pt.test(124)
+
+
+def test_vectorized_queries_match_scalar():
+    pt = PredictionTable(512, llc_set_bits=6)
+    blocks = np.arange(0, 5000, 7, dtype=np.uint64)
+    for b in blocks[::3].tolist():
+        pt.set_bit(b)
+    vec = pt.test_many(blocks)
+    assert [bool(v) for v in vec] == [pt.test(int(b)) for b in blocks]
+
+
+@given(st.lists(BLOCKS, min_size=0, max_size=200))
+@settings(max_examples=50)
+def test_load_from_counts_equals_load_from_blocks(resident):
+    """The tag-mirror recalibration path must be bit-for-bit identical to
+    rebuilding from an explicit resident snapshot (the hardware sweep)."""
+    pt_a = PredictionTable(512, llc_set_bits=6)
+    pt_b = PredictionTable(512, llc_set_bits=6)
+    counts = np.zeros(pt_a.num_bits, dtype=np.int32)
+    for b in resident:
+        counts[b & ((1 << pt_a.p) - 1)] += 1
+    pt_a.load_from_counts(counts)
+    pt_b.load_from_blocks(resident)
+    assert np.array_equal(pt_a.snapshot(), pt_b.snapshot())
+
+
+def test_load_from_counts_shape_check():
+    pt = PredictionTable(512, llc_set_bits=6)
+    with pytest.raises(ConfigError):
+        pt.load_from_counts(np.zeros(10, dtype=np.int32))
+
+
+def test_recalibration_clears_stale_bits():
+    pt = PredictionTable(512, llc_set_bits=6)
+    pt.set_bit(1)
+    pt.set_bit(2)
+    pt.load_from_blocks([2])  # 1 was evicted meanwhile
+    assert not pt.test(1)
+    assert pt.test(2)
+
+
+def test_occupancy_and_bits_set():
+    pt = PredictionTable(512, llc_set_bits=6)
+    assert pt.occupancy == 0.0
+    for b in range(10):
+        pt.set_bit(b)
+    assert pt.bits_set() == 10
+    assert pt.occupancy == 10 / pt.num_bits
+    pt.clear()
+    assert pt.bits_set() == 0
+
+
+def test_line_words_packing():
+    pt = PredictionTable(512, llc_set_bits=6)
+    pt.set_bit(0)     # word 0, bit 0
+    pt.set_bit(65)    # word 1, bit 1
+    words = pt.line_words()
+    assert len(words) == pt.num_bits // 64
+    assert words[0] == 1
+    assert words[1] == 2
+
+
+def test_set_line_correspondence():
+    """Figure 4: all blocks of one LLC set land in the same group of
+    slots_per_set consecutive slot positions (index = slot*2^k + set)."""
+    pt = PredictionTable(512, llc_set_bits=6)  # p=12, k=6 -> 64 slots/set
+    set_index = 5
+    indices = set()
+    for slot in range(pt.slots_per_set):
+        block = (slot << 6) | set_index
+        indices.add(pt.index_of(block))
+    # All distinct, and all congruent to the set index modulo 2^k.
+    assert len(indices) == pt.slots_per_set
+    assert all(i % (1 << 6) == set_index for i in indices)

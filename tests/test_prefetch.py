@@ -1,0 +1,114 @@
+"""The RPT-based stride prefetcher."""
+
+import pytest
+
+from repro.prefetch.rpt import RPT, STATE_INITIAL, STATE_STEADY, STATE_TRANSIENT
+from repro.prefetch.stride import StridePrefetcher
+from repro.util.validation import ConfigError
+
+
+def test_rpt_state_machine_ramp():
+    rpt = RPT(64)
+    pc = 0x400100
+    assert rpt.observe(pc, 0) is None        # allocate (INITIAL)
+    assert rpt.observe(pc, 64) is None       # stride learned (TRANSIENT)
+    assert rpt.observe(pc, 128) == 192       # STEADY: predict next
+    assert rpt.observe(pc, 192) == 256
+    assert rpt.steady_fraction() == 1.0
+
+
+def test_rpt_stride_break_relearns():
+    rpt = RPT(64)
+    pc = 0x400100
+    for addr in (0, 8, 16, 24):
+        rpt.observe(pc, addr)
+    assert rpt.observe(pc, 32) == 40
+    assert rpt.observe(pc, 1000) is None     # break: back to INITIAL
+    assert rpt.observe(pc, 1008) is None     # TRANSIENT again
+    assert rpt.observe(pc, 1016) == 1024     # STEADY again
+
+
+def test_rpt_zero_stride_never_prefetches():
+    rpt = RPT(64)
+    for _ in range(5):
+        out = rpt.observe(0x400100, 64)
+    assert out is None
+
+
+def test_rpt_conflict_reallocates():
+    rpt = RPT(4)
+    a, b = 0x1000, 0x1000 + (4 << 2)  # same index, different tag
+    rpt.observe(a, 0)
+    rpt.observe(b, 0)
+    assert rpt.conflicts == 1
+
+
+def test_rpt_validation():
+    with pytest.raises(ConfigError):
+        RPT(100)
+
+
+def test_stride_prefetcher_emits_block_targets():
+    pf = StridePrefetcher(entries=64, degree=1)
+    pc = 0x400100
+    targets = []
+    for addr in range(0, 64 * 10, 64):
+        targets += pf.train(pc, addr)
+    # After the 2-miss ramp, each observation prefetches the next block.
+    assert targets
+    assert targets == sorted(set(targets))
+    assert all(isinstance(t, int) for t in targets)
+
+
+def test_stride_prefetcher_small_stride_crosses_blocks_only():
+    pf = StridePrefetcher(entries=64, degree=1)
+    pc = 0x400200
+    targets = []
+    for addr in range(0, 8 * 200, 8):  # 8-byte stream
+        targets += pf.train(pc, addr)
+    # Only block-crossing predictions generate prefetches.
+    assert targets
+    assert len(targets) < 50
+
+
+def test_stride_prefetcher_duplicate_filter():
+    pf = StridePrefetcher(entries=64, degree=1)
+    pc = 0x400300
+    pf.train(pc, 0)
+    pf.train(pc, 64)
+    first = pf.train(pc, 128)
+    assert first == [3]
+    # Re-training over the same window emits no duplicate for block 3.
+    pf2_targets = pf.train(pc, 128 - 64)  # stride breaks, relearn
+    assert 3 not in pf2_targets
+    assert pf.stats.dropped_duplicate >= 0
+
+
+def test_stride_prefetcher_degree():
+    pf = StridePrefetcher(entries=64, degree=2)
+    pc = 0x400400
+    pf.train(pc, 0)
+    pf.train(pc, 64)
+    targets = pf.train(pc, 128)
+    assert targets == [3, 4]
+    with pytest.raises(ConfigError):
+        StridePrefetcher(degree=0)
+
+
+def test_usefulness_accounting():
+    pf = StridePrefetcher(entries=64)
+    pf.mark_issued(10)
+    pf.mark_issued(11)
+    pf.note_demand(10)
+    pf.note_demand(10)  # second touch no longer pending
+    assert pf.stats.issued == 2
+    assert pf.stats.useful == 1
+    assert pf.stats.accuracy == 0.5
+
+
+def test_recent_window_bounded():
+    pf = StridePrefetcher(entries=1024, degree=1)
+    pc = 0x400500
+    for addr in range(0, 64 * 2000, 64):
+        pf.train(pc, addr)
+    assert len(pf._recent) <= 256

@@ -1,0 +1,148 @@
+"""End-to-end property-based tests on the full simulation stack.
+
+These are the invariants the whole reproduction rests on:
+
+1. Inclusion invariants hold after arbitrary access sequences.
+2. ReDHiP never produces a false negative, under any trace and any
+   recalibration period (the evaluator would raise if it did).
+3. The two-phase and integrated paths agree on arbitrary traces.
+4. Predictor schemes partition true misses into skips + false positives.
+5. Energy/latency monotonicity: skipping can only reduce dynamic energy,
+   the Oracle bounds every conservative predictor from below.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.redhip import redhip_scheme
+from repro.energy.params import get_machine
+from repro.hierarchy.hierarchy import CacheHierarchy
+from repro.predictors.base import base_scheme, oracle_scheme, phased_scheme
+from repro.predictors.cbf_scheme import cbf_scheme
+from repro.sim.config import SimConfig
+from repro.sim.content import ContentSimulator
+from repro.sim.evaluate import evaluate_scheme
+from repro.sim.integrated import IntegratedSimulator
+
+from conftest import single_core_workload
+
+MACHINE = get_machine("tiny")
+
+# Block universe spanning several sets and enough aliasing to force
+# evictions at every level of the tiny machine.
+block_lists = st.lists(
+    st.integers(min_value=0, max_value=6000), min_size=1, max_size=250
+)
+
+
+@given(blocks=block_lists, policy=st.sampled_from(["inclusive", "hybrid", "exclusive"]))
+@settings(max_examples=40, deadline=None)
+def test_inclusion_invariants_hold(blocks, policy):
+    h = CacheHierarchy(MACHINE, policy=policy)
+    for b in blocks:
+        level = h.access(0, b)
+        assert 0 <= level <= MACHINE.num_levels
+    assert h.check_inclusion() == []
+
+
+@given(blocks=block_lists)
+@settings(max_examples=30, deadline=None)
+def test_hit_level_reflects_actual_presence(blocks):
+    """The reported hit level must match a presence check done beforehand."""
+    h = CacheHierarchy(MACHINE, policy="inclusive")
+    for b in blocks:
+        expected = 0
+        for lvl in range(1, MACHINE.num_levels + 1):
+            if h.cache_at(0, lvl).contains(b):
+                expected = lvl
+                break
+        assert h.access(0, b) == expected
+
+
+@given(blocks=block_lists, period=st.sampled_from([1, 7, 64, None]))
+@settings(max_examples=25, deadline=None)
+def test_redhip_never_false_negative_e2e(blocks, period):
+    wl = single_core_workload(MACHINE, blocks)
+    cfg = SimConfig(machine=MACHINE, refs_per_core=len(blocks))
+    stream = ContentSimulator(cfg).run(wl)
+    # evaluate_scheme raises ReproError on any false negative.
+    res = evaluate_scheme(stream, MACHINE, redhip_scheme(recal_period=period), wl)
+    assert res.skips + res.false_positives == res.true_misses
+
+
+@given(blocks=block_lists)
+@settings(max_examples=20, deadline=None)
+def test_two_phase_equals_integrated_random_traces(blocks):
+    wl = single_core_workload(MACHINE, blocks)
+    cfg = SimConfig(machine=MACHINE, refs_per_core=len(blocks))
+    stream = ContentSimulator(cfg).run(wl)
+    sim = IntegratedSimulator(cfg)
+    for scheme in (base_scheme(), oracle_scheme(), phased_scheme(),
+                   redhip_scheme(recal_period=16), cbf_scheme()):
+        fast = evaluate_scheme(stream, MACHINE, scheme, wl)
+        slow = sim.run(wl, scheme)
+        assert fast.l1_misses == slow.l1_misses
+        assert fast.skips == slow.skips
+        assert fast.level_lookups == slow.level_lookups
+        assert math.isclose(fast.dynamic_nj, slow.dynamic_nj, rel_tol=1e-9)
+        assert math.isclose(fast.exec_cycles, slow.exec_cycles, rel_tol=1e-9)
+
+
+@given(blocks=block_lists)
+@settings(max_examples=25, deadline=None)
+def test_oracle_bounds_conservative_predictors(blocks):
+    wl = single_core_workload(MACHINE, blocks)
+    cfg = SimConfig(machine=MACHINE, refs_per_core=len(blocks))
+    stream = ContentSimulator(cfg).run(wl)
+    base = evaluate_scheme(stream, MACHINE, base_scheme(), wl)
+    oracle = evaluate_scheme(stream, MACHINE, oracle_scheme(), wl)
+    for scheme in (redhip_scheme(recal_period=16), cbf_scheme()):
+        res = evaluate_scheme(stream, MACHINE, scheme, wl)
+        # Oracle skips everything skippable: nobody skips more.
+        assert res.skips <= oracle.skips
+        # Probe energy (everything except the table) is bounded:
+        # oracle <= predictor <= base.
+        probe = res.dynamic_nj - res.ledger.component_nj("PT")
+        assert oracle.dynamic_nj - 1e-9 <= probe <= base.dynamic_nj + 1e-9
+
+
+@given(blocks=block_lists)
+@settings(max_examples=25, deadline=None)
+def test_energy_conservation_identities(blocks):
+    """Ledger identities: L1 probes == accesses; probe counts at level j
+    equal lookups accounted for hit rates."""
+    wl = single_core_workload(MACHINE, blocks)
+    cfg = SimConfig(machine=MACHINE, refs_per_core=len(blocks))
+    stream = ContentSimulator(cfg).run(wl)
+    res = evaluate_scheme(stream, MACHINE, base_scheme(), wl)
+    assert res.ledger.counts[("L1", "probe")] == stream.num_accesses
+    for lvl in (2, 3, 4):
+        name = MACHINE.level(lvl).name
+        assert res.ledger.counts.get((name, "probe"), 0) == res.level_lookups[lvl]
+
+
+@given(blocks=block_lists, seed=st.integers(min_value=0, max_value=5))
+@settings(max_examples=15, deadline=None)
+def test_determinism(blocks, seed):
+    wl = single_core_workload(MACHINE, blocks)
+    cfg = SimConfig(machine=MACHINE, refs_per_core=len(blocks), seed=seed)
+    s1 = ContentSimulator(cfg).run(wl)
+    s2 = ContentSimulator(cfg).run(wl)
+    assert (s1.hit_level == s2.hit_level).all()
+    assert (s1.llc_block == s2.llc_block).all()
+
+
+@given(blocks=block_lists)
+@settings(max_examples=15, deadline=None)
+def test_exclusive_redhip_no_false_negative_e2e(blocks):
+    """The per-level stack variant raises inside the integrated simulator
+    on any per-level false negative; completing the run is the assertion."""
+    wl = single_core_workload(MACHINE, blocks)
+    cfg = SimConfig(machine=MACHINE, refs_per_core=len(blocks), policy="exclusive")
+    sim = IntegratedSimulator(cfg)
+    res = sim.run_exclusive_redhip(wl, recal_period=16)
+    assert res.skips + res.false_positives <= res.true_misses + 1e-9

@@ -1,0 +1,243 @@
+"""Recalibration machinery and the ReDHiP controller, incl. the
+no-false-negative property against a reference set simulation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.recalibration import RecalibrationCost, RecalibrationEngine, TagMirror
+from repro.core.redhip import ReDHiPController, redhip_scheme
+from repro.energy.params import get_machine, paper_machine
+from repro.hierarchy.banking import BankSchedule
+from repro.util.bitops import mask
+from repro.util.validation import ConfigError
+
+
+# ------------------------------------------------------------- BankSchedule
+def test_bank_schedule_paper_sweep():
+    sched = BankSchedule(num_sets=1 << 16, banks=4)
+    assert sched.sweep_cycles == 16 * 1024  # §IV's 16K cycles
+    assert sched.bank_of(5) == 1
+    assert list(sched.sets_in_cycle(0)) == [0, 1, 2, 3]
+    with pytest.raises(ConfigError):
+        sched.sets_in_cycle(sched.sweep_cycles)
+
+
+def test_bank_schedule_validation():
+    with pytest.raises(ConfigError):
+        BankSchedule(num_sets=100, banks=4)
+    with pytest.raises(ConfigError):
+        BankSchedule(num_sets=4, banks=8)
+
+
+# ---------------------------------------------------------------- TagMirror
+def test_tag_mirror_counts_and_underflow():
+    mirror = TagMirror(64, index_mask=63)
+    mirror.fill(5)
+    mirror.fill(5 + 64)  # aliases to the same entry
+    assert mirror.counts[5] == 2
+    assert mirror.max_count() == 2
+    assert mirror.resident_entries() == 1
+    mirror.evict(5)
+    mirror.evict(5 + 64)
+    with pytest.raises(ConfigError):
+        mirror.evict(5)
+
+
+# -------------------------------------------------------- RecalibrationCost
+def test_recal_cost_bits_matches_paper():
+    cost = RecalibrationCost.for_machine(paper_machine(), "bits")
+    assert cost.cycles == 16 * 1024
+    assert cost.energy_nj == pytest.approx((1 << 16) * (1.171 + 0.02))
+
+
+def test_recal_cost_xor_is_orders_slower():
+    """§III-B: without bits-hash the sweep is the serial per-tag process —
+    'several million cycles' on the paper machine."""
+    bits = RecalibrationCost.for_machine(paper_machine(), "bits")
+    xor = RecalibrationCost.for_machine(paper_machine(), "xor")
+    assert xor.cycles == 2 * (1 << 20)  # 2 cycles per tag, 1M tags
+    assert xor.cycles > 100 * bits.cycles
+
+
+def test_recal_cost_unknown_hash():
+    with pytest.raises(ConfigError):
+        RecalibrationCost.for_machine(paper_machine(), "crc")
+
+
+# ------------------------------------------------------ RecalibrationEngine
+def test_engine_period_semantics():
+    cost = RecalibrationCost(cycles=10, energy_nj=1.0)
+    eng = RecalibrationEngine(period=3, cost=cost)
+    fires = [eng.note_l1_miss() for _ in range(7)]
+    assert fires == [False, False, True, False, False, True, False]
+    never = RecalibrationEngine(period=None, cost=cost)
+    assert not any(never.note_l1_miss() for _ in range(10))
+    every = RecalibrationEngine(period=1, cost=cost)
+    assert all(every.note_l1_miss() for _ in range(5))
+    with pytest.raises(ConfigError):
+        RecalibrationEngine(period=0, cost=cost)
+
+
+def test_engine_totals():
+    cost = RecalibrationCost(cycles=10, energy_nj=2.5)
+    eng = RecalibrationEngine(period=1, cost=cost)
+    from repro.core.prediction_table import PredictionTable
+    pt = PredictionTable(512, llc_set_bits=6)
+    mirror = TagMirror(pt.num_bits, index_mask=mask(pt.p))
+    for _ in range(4):
+        if eng.note_l1_miss():
+            eng.sweep(pt, mirror)
+    assert eng.sweeps == 4
+    assert eng.total_cycles == 40
+    assert eng.total_energy_nj == 10.0
+
+
+# --------------------------------------------------------- ReDHiPController
+def controller(recal_period=8, machine=None, **kw):
+    return ReDHiPController(machine or get_machine("tiny"), recal_period=recal_period, **kw)
+
+
+def test_controller_basic_flow():
+    c = controller()
+    assert not c.predict_present(100)  # cold table: predicted miss
+    c.on_llc_fill(100)
+    assert c.predict_present(100)
+    c.on_llc_evict(100)
+    # Eviction does NOT clear the bit (§III-A): stale false positive...
+    assert c.predict_present(100)
+    # ...until a recalibration sweep clears it.
+    c.engine.sweep(c.table, c.mirror)
+    assert not c.predict_present(100)
+
+
+def test_controller_note_l1_miss_triggers_sweep():
+    c = controller(recal_period=3)
+    c.on_llc_fill(7)
+    c.on_llc_evict(7)
+    stalls = [c.note_l1_miss() for _ in range(3)]
+    assert stalls[-1] == c.engine.cost.cycles
+    assert not c.predict_present(7)
+    assert c.engine.sweeps == 1
+    assert c.maintenance_energy_nj() == c.engine.cost.energy_nj
+
+
+def test_controller_counts_updates_and_stats():
+    c = controller()
+    c.on_llc_fill(1)
+    c.on_llc_fill(2)
+    c.on_llc_evict(1)
+    c.predict_present(1)
+    c.predict_present(999)
+    s = c.stats()
+    assert c.table_updates == 2  # evictions don't write the table
+    assert s["lookups"] == 2
+    assert s["mirror_max_aliases"] >= 1
+
+
+def test_controller_rejects_unseen_evict():
+    c = controller()
+    with pytest.raises(ConfigError):
+        c.on_llc_evict(42)
+
+
+def test_controller_xor_hash_variant():
+    c = controller(hash_kind="xor")
+    c.on_llc_fill(12345)
+    assert c.predict_present(12345)
+    assert c.engine.cost.cycles > controller().engine.cost.cycles
+    with pytest.raises(ConfigError):
+        controller(hash_kind="md5")
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["fill", "evict", "lookup", "miss"]),
+                  st.integers(min_value=0, max_value=4095)),
+        max_size=300,
+    ),
+    period=st.sampled_from([1, 3, 17, None]),
+)
+@settings(max_examples=60, deadline=None)
+def test_no_false_negative_property(ops, period):
+    """The central safety property: whatever the fill/evict/recal history,
+    a block currently 'resident' is never predicted absent."""
+    c = ReDHiPController(get_machine("tiny"), recal_period=period)
+    resident: set[int] = set()
+    for op, block in ops:
+        if op == "fill":
+            if block not in resident:
+                resident.add(block)
+                c.on_llc_fill(block)
+        elif op == "evict":
+            if resident:
+                victim = next(iter(resident))
+                resident.discard(victim)
+                c.on_llc_evict(victim)
+        elif op == "miss":
+            if c.note_l1_miss():
+                pass  # sweep happened inside
+        else:  # lookup
+            if block in resident:
+                assert c.predict_present(block), "false negative!"
+            else:
+                c.predict_present(block)  # any answer is legal
+
+
+def test_mirror_alias_bound_with_bits_hash():
+    """Figure 3's argument: with p > k, at most `assoc` resident blocks can
+    alias one table entry, because they all live in one LLC set."""
+    machine = get_machine("tiny")
+    c = ReDHiPController(machine, recal_period=None)
+    llc = machine.llc
+    # Fill a whole LLC set's worth of blocks sharing one set index.
+    set_index = 3
+    for way in range(llc.assoc):
+        block = (way << llc.set_index_bits) | set_index
+        c.on_llc_fill(block)
+    assert c.mirror.max_count() == 1  # distinct slots: no aliasing at all
+    # Aliasing only appears for blocks beyond the slot range — and those
+    # would have evicted an older member of the same set first.
+
+
+def test_redhip_scheme_spec():
+    spec = redhip_scheme(recal_period=5)
+    assert spec.kind == "predictor"
+    pred = spec.build_predictor(get_machine("tiny"))
+    assert isinstance(pred, ReDHiPController)
+    no_ov = redhip_scheme(lookup_delay=0)
+    assert no_ov.resolve_lookup_delay(get_machine("tiny")) == 0
+
+
+def test_adaptive_engine_triggers_on_churn():
+    from repro.core.recalibration import AdaptiveRecalibrationEngine
+    cost = RecalibrationCost(cycles=10, energy_nj=1.0)
+    eng = AdaptiveRecalibrationEngine(threshold=0.5, llc_lines=8, cost=cost)
+    assert eng.fill_budget == 4
+    # Misses without fills never trigger (no churn, no staleness).
+    assert not any(eng.note_l1_miss() for _ in range(20))
+    for _ in range(4):
+        eng.note_fill()
+    assert eng.note_l1_miss()          # budget reached
+    assert not eng.note_l1_miss()      # counter reset after firing
+
+
+def test_adaptive_controller_end_to_end():
+    c = ReDHiPController(get_machine("tiny"), recal_threshold=0.25)
+    # Fill a quarter of the LLC's worth of lines, then evict them.
+    llc_lines = get_machine("tiny").llc.num_lines
+    budget = c.engine.fill_budget
+    for b in range(budget):
+        c.on_llc_fill(b)
+    for b in range(budget):
+        c.on_llc_evict(b)
+    stall = c.note_l1_miss()
+    assert stall > 0 and c.engine.sweeps == 1
+    assert not c.predict_present(0)  # stale bits cleared by the sweep
+
+
+def test_adaptive_validation():
+    from repro.core.recalibration import AdaptiveRecalibrationEngine
+    cost = RecalibrationCost(cycles=1, energy_nj=1.0)
+    with pytest.raises(ConfigError):
+        AdaptiveRecalibrationEngine(threshold=0.0, llc_lines=8, cost=cost)

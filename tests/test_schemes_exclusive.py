@@ -1,0 +1,129 @@
+"""Scheme specs, the CBF scheme and the exclusive per-level table stack."""
+
+import pytest
+
+from repro.core.exclusive import ExclusiveReDHiP
+from repro.energy.params import get_machine
+from repro.predictors.base import (
+    SchemeSpec,
+    base_scheme,
+    oracle_scheme,
+    phased_scheme,
+)
+from repro.predictors.cbf_scheme import CBFPredictor, cbf_scheme
+from repro.util.validation import ConfigError
+
+
+# ------------------------------------------------------------- scheme specs
+def test_builtin_scheme_kinds():
+    assert base_scheme().kind == "base"
+    assert oracle_scheme().kind == "oracle"
+    ph = phased_scheme()
+    assert ph.kind == "phased" and ph.phased_levels == (3, 4)
+    assert not base_scheme().consults_table
+    assert oracle_scheme().skips_on_predicted_miss
+    assert not phased_scheme().skips_on_predicted_miss
+
+
+def test_scheme_spec_validation():
+    with pytest.raises(ConfigError):
+        SchemeSpec(name="x", kind="nonsense")
+    with pytest.raises(ConfigError):
+        SchemeSpec(name="x", kind="predictor")  # missing factory
+    with pytest.raises(ConfigError):
+        SchemeSpec(name="x", kind="base", make_predictor=lambda m: None)
+    with pytest.raises(ConfigError):
+        SchemeSpec(name="x", kind="phased")  # no levels
+
+
+def test_scheme_resolves_costs_from_machine():
+    m = get_machine("paper")
+    spec = cbf_scheme()
+    assert spec.resolve_lookup_delay(m) == 6  # 1 + 5 wire
+    assert spec.resolve_lookup_energy(m) == 0.02
+    override = SchemeSpec(name="y", kind="base", lookup_delay=3, lookup_energy_nj=0.5)
+    assert override.resolve_lookup_delay(m) == 3
+    assert override.resolve_lookup_energy(m) == 0.5
+
+
+def test_base_build_predictor_is_none():
+    assert base_scheme().build_predictor(get_machine("tiny")) is None
+
+
+# --------------------------------------------------------------- CBF scheme
+def test_cbf_predictor_budget_sizing():
+    m = get_machine("paper")
+    pred = cbf_scheme().build_predictor(m)
+    assert isinstance(pred, CBFPredictor)
+    # 512 KB at 4-bit counters = 2^20 entries, the equal-area comparison.
+    assert pred.filter.num_entries == 1 << 20
+    assert pred.filter.storage_bits == 512 * 1024 * 8
+
+
+def test_cbf_predictor_flow_and_stats():
+    pred = CBFPredictor(budget_bytes=1024, counter_bits=4, hash_kind="bits")
+    assert not pred.predict_present(9)
+    pred.on_llc_fill(9)
+    assert pred.predict_present(9)
+    pred.on_llc_evict(9)
+    assert not pred.predict_present(9)  # CBF tracks evictions eagerly
+    assert pred.table_updates == 2      # one write per fill AND evict
+    s = pred.stats()
+    assert s["lookups"] == 3 and s["predicted_miss"] == 2
+
+
+# -------------------------------------------------------- exclusive ReDHiP
+def test_exclusive_stack_sizing_at_constant_ratio():
+    m = get_machine("scaled")
+    stack = ExclusiveReDHiP(m, recal_period=None)
+    assert set(stack.levels) == {2, 3, 4}
+    ratio = m.pt_overhead_ratio
+    for lvl, pred in stack.levels.items():
+        size = m.level(lvl).size
+        # Power-of-two floor of ratio*size, so within 2x below the target.
+        assert pred.table.size_bytes <= ratio * size * 1.01
+        assert pred.table.size_bytes >= ratio * size / 2.01
+    assert stack.total_table_bytes < m.prediction_table.size * 1.5
+
+
+def test_exclusive_stack_predicts_lowest_levels():
+    m = get_machine("tiny")
+    stack = ExclusiveReDHiP(m, recal_period=None)
+    assert stack.predict_levels(50) == []  # cold: straight to memory
+    stack.on_fill(3, 50)
+    assert stack.predict_levels(50) == [3]
+    stack.on_fill(2, 51)
+    stack.on_fill(4, 50)
+    assert stack.predict_levels(50) == [3, 4]
+    assert stack.table_updates == 3
+
+
+def test_exclusive_stack_staleness_and_sweep():
+    m = get_machine("tiny")
+    stack = ExclusiveReDHiP(m, recal_period=2)
+    stack.on_fill(2, 7)
+    stack.on_evict(2, 7)  # moved away; bit stays stale
+    assert 2 in stack.predict_levels(7)
+    stack.note_l1_miss()
+    stall = stack.note_l1_miss()  # second miss: sweeps fire
+    assert stall > 0
+    assert stack.predict_levels(7) == []  # stale bit cleared
+
+
+def test_exclusive_stack_evict_before_fill_rejected():
+    m = get_machine("tiny")
+    stack = ExclusiveReDHiP(m, recal_period=None)
+    with pytest.raises(ConfigError):
+        stack.on_evict(2, 1)
+
+
+def test_exclusive_stack_stats():
+    m = get_machine("tiny")
+    stack = ExclusiveReDHiP(m, recal_period=1)
+    stack.on_fill(4, 1)
+    stack.predict_levels(1)
+    stack.note_l1_miss()
+    s = stack.stats()
+    assert s["lookups"] == 1
+    assert s["L4_sweeps"] == 1
+    assert stack.maintenance_energy_nj() > 0

@@ -1,0 +1,37 @@
+"""Trace file save/load round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.energy.params import get_machine
+from repro.util.validation import ConfigError
+from repro.workloads import get_workload
+from repro.workloads.tracefile import load_workload, save_workload
+
+
+def test_roundtrip(tmp_path):
+    m = get_machine("tiny")
+    w = get_workload("mcf", m, refs_per_core=300, seed=9)
+    path = save_workload(w, tmp_path / "mcf_trace")
+    assert path.suffix == ".npz"
+    loaded = load_workload(path)
+    assert loaded.name == w.name
+    assert loaded.cores == w.cores
+    for a, b in zip(w.traces, loaded.traces):
+        assert a.name == b.name and a.cpi == b.cpi
+        assert (a.addr == b.addr).all()
+        assert (a.pc == b.pc).all()
+        assert (a.write == b.write).all()
+        assert (a.gap == b.gap).all()
+
+
+def test_load_missing_file(tmp_path):
+    with pytest.raises(ConfigError):
+        load_workload(tmp_path / "nope.npz")
+
+
+def test_load_foreign_npz_rejected(tmp_path):
+    path = tmp_path / "foreign.npz"
+    np.savez(path, data=np.arange(3))
+    with pytest.raises(ConfigError):
+        load_workload(path)

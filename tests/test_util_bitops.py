@@ -1,0 +1,70 @@
+"""Bit-manipulation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.bitops import (
+    bit_slice,
+    ilog2,
+    interleave_bank,
+    is_pow2,
+    mask,
+    one_hot64,
+    popcount64_array,
+)
+
+
+def test_is_pow2():
+    assert is_pow2(1) and is_pow2(2) and is_pow2(1 << 40)
+    assert not is_pow2(0) and not is_pow2(3) and not is_pow2(-4)
+
+
+def test_ilog2_roundtrip():
+    for e in range(0, 50):
+        assert ilog2(1 << e) == e
+
+
+def test_ilog2_rejects_non_pow2():
+    with pytest.raises(ValueError):
+        ilog2(3)
+    with pytest.raises(ValueError):
+        ilog2(0)
+
+
+def test_mask():
+    assert mask(0) == 0
+    assert mask(6) == 0x3F
+    assert mask(64) == (1 << 64) - 1
+    with pytest.raises(ValueError):
+        mask(-1)
+
+
+def test_bit_slice():
+    value = 0b1011_0110
+    assert bit_slice(value, 0, 4) == 0b0110
+    assert bit_slice(value, 4, 4) == 0b1011
+    assert bit_slice(value, 2, 3) == 0b101
+    with pytest.raises(ValueError):
+        bit_slice(value, -1, 2)
+
+
+def test_one_hot64_models_decoder():
+    # Figure 4's 6-to-64 decoder: input n -> bit n set.
+    for n in (0, 1, 33, 63):
+        v = one_hot64(n)
+        assert v == 1 << n
+        assert bin(v).count("1") == 1
+    with pytest.raises(ValueError):
+        one_hot64(64)
+
+
+def test_popcount64_array():
+    words = np.array([0, 1, 3, (1 << 64) - 1], dtype=np.uint64)
+    assert popcount64_array(words) == 0 + 1 + 2 + 64
+    assert popcount64_array(np.array([], dtype=np.uint64)) == 0
+
+
+def test_interleave_bank():
+    assert [interleave_bank(i, 4) for i in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+    with pytest.raises(ValueError):
+        interleave_bank(1, 3)

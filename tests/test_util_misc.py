@@ -1,0 +1,86 @@
+"""RNG, statistics and validation helpers."""
+
+import math
+
+import pytest
+
+from repro.util.rng import make_rng, seed_from_string
+from repro.util.stats import (
+    geometric_mean,
+    normalize_to,
+    percent,
+    ratio_series,
+    summarize,
+    weighted_mean,
+)
+from repro.util.validation import (
+    ConfigError,
+    check_in,
+    check_positive,
+    check_pow2,
+    check_range,
+)
+
+
+def test_seed_from_string_is_stable_and_distinct():
+    assert seed_from_string("mcf") == seed_from_string("mcf")
+    assert seed_from_string("mcf") != seed_from_string("lbm")
+
+
+def test_make_rng_label_decorrelates():
+    a = make_rng(1, "a").integers(0, 1 << 30, 10)
+    b = make_rng(1, "b").integers(0, 1 << 30, 10)
+    a2 = make_rng(1, "a").integers(0, 1 << 30, 10)
+    assert list(a) == list(a2)
+    assert list(a) != list(b)
+
+
+def test_geometric_mean():
+    assert math.isclose(geometric_mean([2, 8]), 4.0)
+    with pytest.raises(ValueError):
+        geometric_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, 0.0])
+
+
+def test_weighted_mean():
+    assert weighted_mean([1.0, 3.0], [1.0, 1.0]) == 2.0
+    assert weighted_mean([1.0, 3.0], [3.0, 1.0]) == 1.5
+    with pytest.raises(ValueError):
+        weighted_mean([1.0], [1.0, 2.0])
+
+
+def test_normalize_and_ratio_series():
+    assert normalize_to({"a": 2.0, "b": 4.0}, 2.0) == {"a": 1.0, "b": 2.0}
+    with pytest.raises(ZeroDivisionError):
+        normalize_to({"a": 1.0}, 0.0)
+    assert ratio_series({"a": 4.0}, {"a": 2.0}) == {"a": 2.0}
+    with pytest.raises(KeyError):
+        ratio_series({"a": 1.0}, {"b": 1.0})
+
+
+def test_percent_format():
+    assert percent(0.083) == "+8.3%"
+    assert percent(-0.03) == "-3.0%"
+
+
+def test_summarize():
+    s = summarize([1.0, 2.0, 3.0])
+    assert s["mean"] == 2.0 and s["min"] == 1.0 and s["max"] == 3.0 and s["n"] == 3
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_validation_helpers():
+    check_positive("x", 1)
+    with pytest.raises(ConfigError):
+        check_positive("x", 0)
+    check_pow2("x", 64)
+    with pytest.raises(ConfigError):
+        check_pow2("x", 48)
+    check_range("x", 0.5, 0.0, 1.0)
+    with pytest.raises(ConfigError):
+        check_range("x", 2.0, 0.0, 1.0)
+    check_in("x", "a", ("a", "b"))
+    with pytest.raises(ConfigError):
+        check_in("x", "c", ("a", "b"))

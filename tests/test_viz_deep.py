@@ -1,0 +1,96 @@
+"""ASCII visualization helpers and the variable-depth machine factory."""
+
+import pytest
+
+from repro.energy.params import deep_machine, get_machine
+from repro.util.validation import ConfigError
+from repro.viz import bar_chart, grouped_bar_chart, sparkline
+
+
+# ---------------------------------------------------------------------- viz
+def test_bar_chart_renders_all_rows():
+    chart = bar_chart({"Oracle": 0.135, "ReDHiP": 0.08, "Phased": -0.03})
+    lines = chart.splitlines()
+    assert len(lines) == 3
+    assert "+13.5%" in lines[0]
+    assert lines[2].split("|")[0].rstrip().endswith("-")  # negative lane
+    # The largest magnitude gets the longest bar.
+    assert lines[0].count("█") >= lines[1].count("█")
+
+
+def test_bar_chart_validation():
+    with pytest.raises(ConfigError):
+        bar_chart({})
+    with pytest.raises(ConfigError):
+        bar_chart({"a": 1.0}, width=2)
+
+
+def test_bar_chart_zero_series():
+    chart = bar_chart({"a": 0.0, "b": 0.0})
+    assert chart.count("█") == 0
+
+
+def test_grouped_bar_chart():
+    chart = grouped_bar_chart({
+        "mcf": {"Oracle": 0.1, "ReDHiP": 0.05},
+        "lbm": {"Oracle": 0.2},
+    })
+    assert "mcf:" in chart and "lbm:" in chart
+    assert chart.count("|") == 6  # two delimiters per bar row
+
+
+def test_sparkline():
+    s = sparkline([0.0, 0.5, 1.0])
+    assert len(s) == 3
+    assert s[0] == "▁" and s[-1] == "█"
+    assert sparkline([]) == ""
+    assert sparkline([float("nan"), 1.0])[0] == " "
+    flat = sparkline([2.0, 2.0, 2.0])
+    assert len(set(flat)) == 1
+
+
+# ------------------------------------------------------------- deep machines
+@pytest.mark.parametrize("depth", [2, 3, 4, 5, 6])
+def test_deep_machine_structural_invariants(depth):
+    m = deep_machine(depth)
+    assert m.num_levels == depth
+    assert m.p_minus_k == 6               # the Figure 3/4 constant
+    assert abs(m.pt_overhead_ratio - 1 / 128) < 1e-9
+    # Inclusive feasibility: LLC at least 2x aggregate private capacity.
+    private = sum(l.size for l in m.levels[:-1]) * m.cores
+    assert m.llc.size >= 2 * private
+    # Energies and delays grow with depth.
+    energies = [l.access_energy for l in m.levels]
+    assert energies == sorted(energies)
+    delays = [l.access_delay for l in m.levels]
+    assert delays == sorted(delays)
+
+
+def test_deep_machine_depth_bounds():
+    with pytest.raises(ConfigError):
+        deep_machine(1)
+    with pytest.raises(ConfigError):
+        deep_machine(7)
+
+
+def test_deep_machine_registry_and_simulation():
+    m = get_machine("deep5")
+    assert m.num_levels == 5
+    # A 5-level hierarchy actually simulates end to end.
+    from repro.predictors.base import base_scheme, oracle_scheme
+    from repro.sim.config import SimConfig
+    from repro.sim.runner import ExperimentRunner
+
+    cfg = SimConfig(machine=deep_machine(5, cores=2), refs_per_core=1500)
+    runner = ExperimentRunner(cfg)
+    base = runner.run("mcf", base_scheme())
+    orc = runner.run("mcf", oracle_scheme())
+    assert set(base.hit_rates) == {1, 2, 3, 4, 5}
+    assert orc.dynamic_nj < base.dynamic_nj
+
+
+def test_with_cores():
+    m = get_machine("scaled").with_cores(4)
+    assert m.cores == 4
+    assert m.llc.size == get_machine("scaled").llc.size
+    assert "4c" in m.name
