@@ -27,6 +27,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
+from repro.checking import InvariantViolation, ReplayBundle
 from repro.core import (
     PAPER_RECAL_PERIOD,
     ExclusiveReDHiP,
@@ -99,6 +100,8 @@ __all__ = [
     "GatedPredictor",
     "InclusionPolicy",
     "IntegratedSimulator",
+    "InvariantViolation",
+    "ReplayBundle",
     "LRUCache",
     "MachineConfig",
     "MissMapPredictor",

@@ -1,0 +1,523 @@
+"""Checked mode: opt-in structural invariant verification with replay.
+
+Every result this reproduction produces rests on a handful of structural
+invariants:
+
+* **inclusion** — with an LLC-superset policy, "absent from the LLC" must
+  imply "absent from every cache" (ReDHiP's no-false-negative guarantee);
+* **PT monotonicity** — prediction-table bits are set on LLC fills and
+  never cleared except by a recalibration sweep (§III-A);
+* **recalibration exactness** — a sweep must leave the table bit-for-bit
+  identical to a from-scratch rebuild from the LLC tags (§III-B);
+* **accounting conservation** — the energy ledger and per-level counters
+  must stay internally consistent (hits ≤ lookups, totals = sum of parts).
+
+Checked mode threads lightweight verifiers for these through the hot
+paths.  It is strictly opt-in — ``REPRO_CHECKED=1`` in the environment or
+``SimConfig(checked=True)`` — and when disabled the simulators run the
+exact same code they always did (the checked variants of the inner loops
+and callbacks are only *constructed* when checking is on, so the disabled
+cost is zero, not "one branch per access").
+
+On a violation the verifier raises :class:`InvariantViolation` carrying a
+minimal :class:`ReplayBundle` (config dict, workload name, seed, access
+index) and writes it as JSON under ``.repro-replay/`` (override with
+``REPRO_REPLAY_DIR``).  ``repro check --replay <bundle>`` — or
+:func:`replay` from Python — re-runs exactly that window of the same
+deterministic trajectory and reports whether the violation reproduces.
+
+The same module provides the :func:`OutcomeStream fingerprints
+<fingerprint>` used by ``repro check``, the golden regression tests and
+the parallel-equivalence tests: a stable content hash of the outcome
+sequence per (workload, machine, policy, refs, seed), which every later
+optimization (vectorized walks, sharded runners) must leave unchanged.
+
+This module deliberately imports nothing from :mod:`repro.sim` at module
+scope (the simulators import *it*); the replay entry point resolves those
+lazily.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.hierarchy.inclusion import InclusionPolicy
+from repro.util.validation import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hierarchy.events import OutcomeStream
+    from repro.hierarchy.hierarchy import CacheHierarchy
+    from repro.sim.config import SimConfig
+
+__all__ = [
+    "CHECKED_ENV",
+    "REPLAY_DIR_ENV",
+    "CheckContext",
+    "CheckedPredictor",
+    "HierarchyChecker",
+    "InvariantViolation",
+    "ReplayBundle",
+    "ReplayReport",
+    "check_result",
+    "default_replay_dir",
+    "enabled",
+    "fingerprint",
+    "replay",
+]
+
+#: Environment switch: any of 1/true/yes/on (case-insensitive) enables it.
+CHECKED_ENV = "REPRO_CHECKED"
+
+#: Where replay bundles are written (default ``.repro-replay/``).
+REPLAY_DIR_ENV = "REPRO_REPLAY_DIR"
+
+#: Accesses between full-hierarchy inclusion sweeps (the per-event checks
+#: are local to the touched blocks; the sweep is the belt-and-braces pass).
+DEFAULT_SWEEP_INTERVAL = 4096
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+def enabled(config: "SimConfig | None" = None) -> bool:
+    """Is checked mode on for this run?  ``config.checked`` or the env."""
+    if config is not None and getattr(config, "checked", False):
+        return True
+    return os.environ.get(CHECKED_ENV, "").strip().lower() in _TRUTHY
+
+
+def default_replay_dir() -> Path:
+    return Path(os.environ.get(REPLAY_DIR_ENV, ".repro-replay"))
+
+
+def fingerprint(stream: "OutcomeStream") -> str:
+    """Stable content hash of an outcome stream (delegates to the stream)."""
+    return stream.fingerprint()
+
+
+# --------------------------------------------------------------- bundles
+@dataclass
+class ReplayBundle:
+    """Everything needed to re-run the window that violated an invariant.
+
+    ``config`` is the :meth:`serialized SimConfig <config_to_dict>`;
+    ``ref_index`` is the 0-based index (in the merged multi-core access
+    order) of the access whose processing tripped the check, so a replay
+    only has to walk ``ref_index + 1`` accesses.  ``runner`` names the
+    simulation path that was active (``content`` or ``integrated``) and
+    ``scheme`` the scheme, when one was in the loop.
+    """
+
+    invariant: str
+    detail: str
+    workload: str
+    ref_index: int
+    config: dict
+    runner: str = "content"
+    scheme: Optional[str] = None
+
+    # ------------------------------------------------------------- (de)ser
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ReplayBundle":
+        data = json.loads(text)
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "ReplayBundle":
+        try:
+            return cls.from_json(Path(path).read_text())
+        except FileNotFoundError:
+            raise ReproError(f"replay bundle not found: {path}") from None
+        except (json.JSONDecodeError, TypeError) as exc:
+            raise ReproError(f"malformed replay bundle {path}: {exc}") from exc
+
+    def filename(self) -> str:
+        policy = self.config.get("policy", "?")
+        seed = self.config.get("seed", "?")
+        return (
+            f"{self.invariant}-{self.workload}-{policy}-s{seed}"
+            f"-r{self.ref_index}.json"
+        )
+
+    def write(self, directory: "str | Path | None" = None) -> Path:
+        """Write the bundle JSON; deterministic name, idempotent content."""
+        directory = Path(directory) if directory is not None else default_replay_dir()
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / self.filename()
+        path.write_text(self.to_json() + "\n")
+        return path
+
+
+def config_to_dict(config: "SimConfig") -> dict:
+    """The replayable identity of a config (matches ``cache_key()``)."""
+    return {
+        "machine": config.machine.name,
+        "policy": config.policy.value,
+        "refs_per_core": config.refs_per_core,
+        "seed": config.seed,
+        "replacement": config.replacement,
+        "coherent": config.coherent,
+    }
+
+
+def config_from_dict(data: dict) -> "SimConfig":
+    """Rebuild a checked :class:`SimConfig` from a bundle's config dict."""
+    from repro.energy.params import get_machine
+    from repro.sim.config import SimConfig
+
+    return SimConfig(
+        machine=get_machine(data["machine"]),
+        policy=data.get("policy", "inclusive"),
+        refs_per_core=data["refs_per_core"],
+        seed=data.get("seed", 1),
+        replacement=data.get("replacement", "lru"),
+        coherent=data.get("coherent", False),
+        checked=True,
+    )
+
+
+class InvariantViolation(ReproError):
+    """A structural invariant failed; carries the replay bundle."""
+
+    def __init__(self, bundle: ReplayBundle, bundle_path: "Path | None" = None) -> None:
+        self.bundle = bundle
+        self.bundle_path = bundle_path
+        self.invariant = bundle.invariant
+        self.ref_index = bundle.ref_index
+        where = f" (bundle: {bundle_path})" if bundle_path is not None else ""
+        hint = (
+            f"; rerun with `repro check --replay {bundle_path}`"
+            if bundle_path is not None
+            else ""
+        )
+        super().__init__(
+            f"invariant {bundle.invariant!r} violated on workload "
+            f"{bundle.workload!r} at access #{bundle.ref_index}: "
+            f"{bundle.detail}{where}{hint}"
+        )
+
+
+# --------------------------------------------------------------- context
+@dataclass
+class CheckContext:
+    """Shared state of one checked run: identity, cursor, failure path."""
+
+    config: dict
+    workload: str
+    runner: str = "content"
+    scheme: Optional[str] = None
+    sweep_interval: int = DEFAULT_SWEEP_INTERVAL
+    replay_dir: Optional[Path] = None
+    #: Index of the access currently being processed (updated by the
+    #: simulator's checked loop; -1 before the first access).
+    current_ref: int = field(default=-1, compare=False)
+
+    @classmethod
+    def for_run(
+        cls,
+        config: "SimConfig",
+        workload_name: str,
+        runner: str = "content",
+        scheme: Optional[str] = None,
+    ) -> "CheckContext":
+        return cls(
+            config=config_to_dict(config),
+            workload=workload_name,
+            runner=runner,
+            scheme=scheme,
+        )
+
+    def fail(self, invariant: str, detail: str, ref_index: "int | None" = None) -> None:
+        """Write a replay bundle and raise :class:`InvariantViolation`."""
+        bundle = ReplayBundle(
+            invariant=invariant,
+            detail=detail,
+            workload=self.workload,
+            ref_index=self.current_ref if ref_index is None else ref_index,
+            config=self.config,
+            runner=self.runner,
+            scheme=self.scheme,
+        )
+        path = bundle.write(self.replay_dir)
+        raise InvariantViolation(bundle, path)
+
+
+# ------------------------------------------------------------- hierarchy
+class HierarchyChecker:
+    """Verifies the inclusion invariant as the hierarchy mutates.
+
+    Local checks run per access but only on the blocks the access actually
+    filled or evicted (a handful of ``contains`` probes each); a full
+    :meth:`CacheHierarchy.check_inclusion` sweep runs every
+    ``sweep_interval`` accesses and once more at the end of the walk.
+    Checks are deferred to the end of each access because the hierarchy
+    emits the LLC-evict notification *before* the back-invalidations that
+    restore the invariant.
+    """
+
+    def __init__(self, ctx: CheckContext) -> None:
+        self.ctx = ctx
+        self.hier: "CacheHierarchy | None" = None
+        self._touched: set[int] = set()
+        self._countdown = ctx.sweep_interval
+        # Rebound per call in the hot path; bind() replaces it.
+        self._check_block = None
+
+    def bind(self, hier: "CacheHierarchy") -> None:
+        self.hier = hier
+        self._check_block = hier.check_block_inclusion
+
+    # Wired into the hierarchy's on_fill/on_evict callback chain.
+    def on_fill(self, level: int, block: int) -> None:
+        self._touched.add(block)
+
+    def on_evict(self, level: int, block: int) -> None:
+        self._touched.add(block)
+
+    def after_access(self, ref_index: int) -> None:
+        """Run the deferred local checks for one completed access."""
+        touched = self._touched
+        if touched:
+            check_block = self._check_block
+            for block in touched:
+                problems = check_block(block)
+                if problems:
+                    self.ctx.fail("inclusion", "; ".join(problems), ref_index)
+            touched.clear()
+        self._countdown -= 1
+        if self._countdown <= 0:
+            self._countdown = self.ctx.sweep_interval
+            self._full_sweep(ref_index)
+
+    def final(self, ref_index: int) -> None:
+        """End-of-walk full verification."""
+        self._full_sweep(ref_index)
+
+    def _full_sweep(self, ref_index: int) -> None:
+        problems = self.hier.check_inclusion()
+        if problems:
+            head = "; ".join(problems[:4])
+            more = f" (+{len(problems) - 4} more)" if len(problems) > 4 else ""
+            self.ctx.fail("inclusion-sweep", head + more, ref_index)
+
+
+# -------------------------------------------------------- prediction table
+class CheckedPredictor:
+    """Delegating wrapper enforcing the PT invariants on a ReDHiP-style
+    predictor (anything with ``table``, ``mirror`` and ``engine``).
+
+    * **monotonicity** — between sweeps, bits may only be set, never
+      cleared: a shadow copy of the bitmap is advanced on every check and
+      any bit present in the shadow but absent from the live table is a
+      violation;
+    * **recalibration exactness** — immediately after each sweep, the
+      table must equal a from-scratch rebuild from the LLC residents
+      (through the controller's own hash), and the tag mirror's counts
+      must equal an exact recount of those residents.
+
+    Everything not intercepted here delegates to the wrapped predictor, so
+    the evaluators cannot tell the difference.
+    """
+
+    #: Table updates between monotonicity re-checks (each check is one
+    #: vectorized pass over the bitmap).
+    MONOTONE_INTERVAL = 256
+
+    def __init__(
+        self, inner, hier: "CacheHierarchy", ctx: CheckContext, pending=None
+    ) -> None:
+        self._inner = inner
+        self._hier = hier
+        self._ctx = ctx
+        #: The integrated simulator's not-yet-applied LLC event list, as
+        #: ``(op, block)`` with op 0 = fill / 1 = evict (its ``_FILL`` /
+        #: ``_EVICT``).  The loop applies each access's events to the
+        #: predictor *after* the lookup raced them, so at sweep time the
+        #: mirror is exactly these events behind the live hierarchy; the
+        #: sweep oracle un-applies them before comparing.
+        self._pending = pending if pending is not None else []
+        self._shadow = inner.table.snapshot()
+        self._sweeps_seen = inner.engine.sweeps
+        self._ops = 0
+
+    # ------------------------------------------------------- delegation
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def predict_present(self, block: int) -> bool:
+        return self._inner.predict_present(block)
+
+    def on_llc_fill(self, block: int) -> None:
+        self._inner.on_llc_fill(block)
+        self._tick()
+
+    def on_llc_evict(self, block: int) -> None:
+        self._inner.on_llc_evict(block)
+        self._tick()
+
+    def note_l1_miss(self) -> int:
+        stall = self._inner.note_l1_miss()
+        if self._inner.engine.sweeps != self._sweeps_seen:
+            self._after_sweep()
+        return stall
+
+    # ----------------------------------------------------------- checks
+    def _tick(self) -> None:
+        self._ops += 1
+        if self._ops % self.MONOTONE_INTERVAL == 0:
+            self._check_monotone()
+
+    def _check_monotone(self) -> None:
+        bits = self._inner.table._bits
+        cleared = self._shadow & ~bits
+        if cleared.any():
+            idx = int(np.flatnonzero(cleared)[0])
+            self._ctx.fail(
+                "pt-monotone",
+                f"table bit {idx} was cleared outside a recalibration sweep "
+                f"({int(cleared.sum())} bits total)",
+            )
+        # Bits only grow between sweeps, so the live bitmap is the new
+        # tightest lower bound.
+        np.copyto(self._shadow, bits)
+
+    def _after_sweep(self) -> None:
+        inner = self._inner
+        residents = set(self._hier.llc_resident_blocks())
+        for op, block in reversed(self._pending):
+            if op == 0:  # un-apply a fill the mirror has not seen yet
+                residents.discard(block)
+            else:  # un-apply an eviction: the block was still resident
+                residents.add(block)
+        problems = inner.table.verify_against_blocks(residents, index_fn=inner._index)
+        if problems:
+            self._ctx.fail("recalibration", "; ".join(problems))
+        problems = inner.mirror.verify_against_blocks(residents, index_fn=inner._index)
+        if problems:
+            self._ctx.fail("tag-mirror", "; ".join(problems))
+        np.copyto(self._shadow, inner.table._bits)
+        self._sweeps_seen = inner.engine.sweeps
+
+
+# -------------------------------------------------------------- accounting
+def check_result(result, ctx: CheckContext) -> None:
+    """End-of-run conservation checks on a :class:`SchemeResult`."""
+    problems = result.ledger.validate()
+    for level, hits in result.level_hits.items():
+        lookups = result.level_lookups.get(level, 0)
+        if hits < 0 or lookups < 0:
+            problems.append(f"L{level}: negative counter (hits={hits}, lookups={lookups})")
+        if hits > lookups:
+            problems.append(f"L{level}: {hits} hits exceed {lookups} lookups")
+    if result.skips + result.false_positives > result.l1_misses:
+        problems.append(
+            f"skips ({result.skips}) + false positives "
+            f"({result.false_positives}) exceed L1 misses ({result.l1_misses})"
+        )
+    if result.false_positives > result.true_misses:
+        problems.append(
+            f"false positives ({result.false_positives}) exceed true "
+            f"misses ({result.true_misses})"
+        )
+    if not np.isfinite(result.static_nj) or result.static_nj < 0:
+        problems.append(f"static energy is {result.static_nj!r}")
+    if not np.isfinite(result.exec_cycles) or result.exec_cycles < 0:
+        problems.append(f"execution cycles are {result.exec_cycles!r}")
+    if problems:
+        ctx.fail("energy-conservation", "; ".join(problems))
+
+
+# ------------------------------------------------------------------ replay
+@dataclass(frozen=True)
+class ReplayReport:
+    """Outcome of re-running a replay bundle."""
+
+    reproduced: bool
+    bundle: ReplayBundle
+    violation: Optional[InvariantViolation] = None
+    fingerprint: Optional[str] = None
+
+    @property
+    def message(self) -> str:
+        if self.violation is None:
+            fp = f"; window fingerprint {self.fingerprint}" if self.fingerprint else ""
+            return (
+                f"not reproduced: {self.bundle.invariant!r} no longer fires "
+                f"within {self.bundle.ref_index + 1} accesses of "
+                f"{self.bundle.workload!r}{fp}"
+            )
+        same = "reproduced" if self.reproduced else "violated differently"
+        return (
+            f"{same}: {self.violation.invariant!r} at access "
+            f"#{self.violation.ref_index} (bundle expected "
+            f"{self.bundle.invariant!r} at #{self.bundle.ref_index})"
+        )
+
+
+_REPLAYABLE_SCHEMES = ("ReDHiP", "ReDHiP-NoOv", "Base", "Oracle", "Phased", "CBF")
+
+
+def _scheme_for_replay(name: str, cfg: "SimConfig"):
+    from repro.core.redhip import redhip_scheme
+    from repro.predictors import base_scheme, cbf_scheme, oracle_scheme, phased_scheme
+
+    if name in ("ReDHiP", "ReDHiP-NoOv"):
+        return redhip_scheme(recal_period=cfg.recal_period, name=name)
+    if name == "Base":
+        return base_scheme()
+    if name == "Oracle":
+        return oracle_scheme()
+    if name == "Phased":
+        return phased_scheme()
+    if name == "CBF":
+        return cbf_scheme()
+    raise ReproError(
+        f"replay supports content bundles and the {_REPLAYABLE_SCHEMES} "
+        f"schemes, not {name!r}"
+    )
+
+
+def replay(bundle: "ReplayBundle | str | Path") -> ReplayReport:
+    """Re-run the deterministic window captured in a bundle.
+
+    Rebuilds the config (forcing ``checked=True``) and the workload from
+    the bundle, then re-runs the recorded simulation path.  Content
+    bundles re-run only ``ref_index + 1`` accesses of the merged order;
+    integrated bundles re-run the walk with the recorded scheme (windowing
+    an integrated run would change predictor state, so it runs in full
+    until the violation — still bounded by the recorded config).
+    """
+    from repro.sim.content import ContentSimulator
+    from repro.workloads import get_workload
+
+    if not isinstance(bundle, ReplayBundle):
+        bundle = ReplayBundle.load(bundle)
+    cfg = config_from_dict(bundle.config)
+    workload = get_workload(bundle.workload, cfg.machine, cfg.refs_per_core, cfg.seed)
+    try:
+        if bundle.runner == "content":
+            stream = ContentSimulator(cfg).run(
+                workload, max_accesses=bundle.ref_index + 1
+            )
+            return ReplayReport(
+                reproduced=False, bundle=bundle, fingerprint=stream.fingerprint()
+            )
+        from repro.sim.integrated import IntegratedSimulator
+
+        scheme = _scheme_for_replay(bundle.scheme or "ReDHiP", cfg)
+        IntegratedSimulator(cfg).run(workload, scheme)
+        return ReplayReport(reproduced=False, bundle=bundle)
+    except InvariantViolation as exc:
+        reproduced = (
+            exc.invariant == bundle.invariant and exc.ref_index == bundle.ref_index
+        )
+        return ReplayReport(reproduced=reproduced, bundle=bundle, violation=exc)

@@ -8,6 +8,8 @@ Examples::
     python -m repro run fig7 --machine paper --refs 20000 --workloads mcf,lbm
     python -m repro run-all --out results/
     python -m repro workload mcf --refs 10000 --save mcf.npz
+    python -m repro check --workloads mcf,lbm --redhip
+    python -m repro check --replay .repro-replay/inclusion-mcf-inclusive-s1-r123.json
 
 ``run`` prints the same rows/series the paper's figure shows; ``--out``
 additionally writes a markdown file per artifact.
@@ -21,6 +23,7 @@ from pathlib import Path
 
 from repro.energy.params import MACHINES, get_machine
 from repro.experiments import clear_cache, experiment_ids, run_experiment
+from repro.hierarchy.inclusion import InclusionPolicy
 from repro.sim.config import SimConfig
 from repro.sim.report import ExperimentResult
 from repro.util.validation import ReproError
@@ -75,6 +78,26 @@ def build_parser() -> argparse.ArgumentParser:
     an.add_argument("--machine", default="scaled", choices=sorted(MACHINES))
     an.add_argument("--refs", type=int, default=40_000)
     an.add_argument("--seed", type=int, default=1)
+
+    ck = sub.add_parser(
+        "check",
+        help="run workloads in checked (invariant-verifying) mode and "
+             "report content fingerprints, or replay a violation bundle",
+    )
+    ck.add_argument("--machine", default="scaled", choices=sorted(MACHINES))
+    ck.add_argument("--refs", type=int, default=20_000,
+                    help="references per core (default: 20000)")
+    ck.add_argument("--seed", type=int, default=1)
+    ck.add_argument("--workloads", default=None,
+                    help="comma-separated subset of the paper's workloads")
+    ck.add_argument("--policy", default="inclusive",
+                    choices=[p.value for p in InclusionPolicy])
+    ck.add_argument("--redhip", action="store_true",
+                    help="also run a checked ReDHiP integrated pass per workload "
+                         "(prediction-table + recalibration invariants)")
+    ck.add_argument("--replay", type=Path, default=None, metavar="BUNDLE",
+                    help="re-run the window recorded in a replay bundle; "
+                         "exits 1 if the violation still reproduces")
     return parser
 
 
@@ -144,6 +167,49 @@ def _analyze(args) -> None:
           f"(mean {stats.memory_rate.mean():.1%})")
 
 
+def _check(args) -> int:
+    """Checked-mode verification pass: the shared CI/human entry point."""
+    from repro.checking import replay
+    from repro.sim.content import ContentSimulator
+
+    if args.replay is not None:
+        report = replay(args.replay)
+        print(report.message)
+        return 1 if report.violation is not None else 0
+
+    cfg = SimConfig(
+        machine=get_machine(args.machine),
+        refs_per_core=args.refs,
+        seed=args.seed,
+        policy=args.policy,
+        checked=True,
+    )
+    names = (
+        tuple(w.strip() for w in args.workloads.split(","))
+        if args.workloads
+        else PAPER_WORKLOADS
+    )
+    print(f"checked mode: {cfg.machine.name}, {cfg.policy.value}, "
+          f"{cfg.refs_per_core} refs/core, seed {cfg.seed}")
+    for name in names:
+        workload = get_workload(name, cfg.machine, cfg.refs_per_core, cfg.seed)
+        stream = ContentSimulator(cfg).run(workload)
+        print(f"{name:10s} {stream.fingerprint()}  "
+              f"({stream.num_accesses} accesses, {len(stream.llc_op)} LLC events)")
+        if args.redhip:
+            from repro.core.redhip import redhip_scheme
+            from repro.sim.integrated import IntegratedSimulator
+
+            result = IntegratedSimulator(cfg).run(
+                workload, redhip_scheme(recal_period=cfg.recal_period)
+            )
+            sweeps = int(result.predictor_stats.get("recal_sweeps", 0))
+            print(f"{'':10s} ReDHiP ok: {result.skips} skips, "
+                  f"{result.false_positives} false positives, {sweeps} sweeps")
+    print("all invariants held")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -179,6 +245,8 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"wrote {path}")
         elif args.command == "analyze":
             _analyze(args)
+        elif args.command == "check":
+            return _check(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

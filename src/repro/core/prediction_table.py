@@ -115,6 +115,49 @@ class PredictionTable:
         for block in blocks:
             self._bits[block & ((1 << self.p) - 1)] = True
 
+    # ------------------------------------------------------------- checking
+    def verify_against_blocks(self, blocks, index_fn=None) -> list[str]:
+        """Compare the bitmap against a from-scratch rebuild from ``blocks``.
+
+        Returns problem descriptions (empty when the table is exactly the
+        presence bitmap of ``blocks``).  Checked mode and the property
+        tests use this as the recalibration oracle: immediately after a
+        sweep the live table must be bit-for-bit identical to re-hashing
+        every resident block.  ``index_fn`` overrides the bits-hash (the
+        xor ablation indexes differently).
+        """
+        reference = np.zeros_like(self._bits)
+        if index_fn is None:
+            index_mask = (1 << self.p) - 1
+            for block in blocks:
+                reference[block & index_mask] = True
+        else:
+            for block in blocks:
+                reference[index_fn(block)] = True
+        mismatch = reference != self._bits
+        if not mismatch.any():
+            return []
+        indices = np.flatnonzero(mismatch)
+        extra = int((self._bits & ~reference).sum())
+        missing = int((reference & ~self._bits).sum())
+        return [
+            f"table differs from rebuild of {len(blocks)} blocks at "
+            f"{len(indices)} entries (first: {int(indices[0])}; "
+            f"{extra} stale-set, {missing} missing)"
+        ]
+
+    def is_superset_of_blocks(self, blocks, index_fn=None) -> bool:
+        """No-false-negative check: every block's entry must be set.
+
+        Weaker than :meth:`verify_against_blocks` (stale set bits are
+        allowed — they are ReDHiP's false positives) and valid at *any*
+        point between sweeps, not just right after one.
+        """
+        if index_fn is None:
+            index_mask = (1 << self.p) - 1
+            return all(self._bits[block & index_mask] for block in blocks)
+        return all(self._bits[index_fn(block)] for block in blocks)
+
     # ------------------------------------------------------------ telemetry
     @property
     def occupancy(self) -> float:

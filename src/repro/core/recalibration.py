@@ -76,6 +76,28 @@ class TagMirror:
     def counts(self) -> np.ndarray:
         return self._counts
 
+    def verify_against_blocks(self, blocks, index_fn=None) -> list[str]:
+        """Compare the mirror against an exact recount of ``blocks``.
+
+        The mirror is the simulator's stand-in for the LLC tag array, so
+        at any instant its counts must equal a from-scratch recount of the
+        resident blocks; checked mode asserts this at every sweep.
+        Returns problem descriptions (empty on success).
+        """
+        reference = np.zeros_like(self._counts)
+        for block in blocks:
+            idx = (block & self._mask) if index_fn is None else index_fn(block)
+            reference[idx] += 1
+        bad = reference != self._counts
+        if not bad.any():
+            return []
+        first = int(np.flatnonzero(bad)[0])
+        return [
+            f"mirror diverges from recount of {len(blocks)} blocks at "
+            f"{int(bad.sum())} entries (first: entry {first} holds "
+            f"{int(self._counts[first])}, recount says {int(reference[first])})"
+        ]
+
     def max_count(self) -> int:
         return int(self._counts.max()) if len(self._counts) else 0
 

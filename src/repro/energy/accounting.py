@@ -11,6 +11,7 @@ Units: nanojoules for energy, watts for power, cycles+Hz for time.
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from dataclasses import dataclass, field
 
@@ -66,6 +67,44 @@ class EnergyLedger:
         """Per-component dynamic energy (nJ), sorted by component name."""
         components = sorted({c for c, _ in self.energy_nj})
         return {c: self.component_nj(c) for c in components}
+
+    def validate(self) -> list[str]:
+        """Conservation self-check; returns problem descriptions.
+
+        Checked mode (:mod:`repro.checking`) runs this at the end of every
+        integrated simulation: all counts and energies must be
+        non-negative and finite, energy must not exist without events, and
+        the per-component and per-category marginals must both sum to the
+        total (they are different partitions of the same charges).
+        """
+        problems: list[str] = []
+        for key, count in self.counts.items():
+            if count < 0:
+                problems.append(f"{key}: negative event count {count}")
+            if key not in self.energy_nj:
+                problems.append(f"{key}: {count} events but no energy entry")
+        for key, energy in self.energy_nj.items():
+            if not math.isfinite(energy):
+                problems.append(f"{key}: energy is {energy!r}")
+            elif energy < 0:
+                problems.append(f"{key}: negative energy {energy} nJ")
+            if energy > 0 and self.counts.get(key, 0) == 0:
+                problems.append(f"{key}: {energy} nJ charged with zero events")
+        total = self.total_nj
+        tol = 1e-6 * max(1.0, abs(total))
+        by_component = sum(self.breakdown().values())
+        if abs(by_component - total) > tol:
+            problems.append(
+                f"component marginals sum to {by_component} nJ, total is {total} nJ"
+            )
+        by_category = sum(
+            self.category_nj(cat) for cat in {c for _, c in self.energy_nj}
+        )
+        if abs(by_category - total) > tol:
+            problems.append(
+                f"category marginals sum to {by_category} nJ, total is {total} nJ"
+            )
+        return problems
 
     def as_rows(self) -> list[tuple[str, str, int, float]]:
         """Flat (component, category, count, nJ) rows for reports."""

@@ -18,6 +18,7 @@ frozen into NumPy arrays at the end of the walk.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -67,6 +68,33 @@ class OutcomeStream:
 
     def level_hits(self, level: int) -> int:
         return int((self.hit_level == level).sum())
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the full outcome + LLC event sequence.
+
+        Identifies a content trajectory per (workload, machine, policy,
+        refs, seed, replacement): two walks agree iff their streams are
+        byte-identical.  Dtypes and byte order are pinned so the digest is
+        reproducible across platforms and sessions; checked mode, the
+        golden regression tests and the parallel-equivalence tests all
+        compare these.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(np.int64(self.num_levels).tobytes())
+        for arr, dtype in (
+            (self.core, "<u2"),
+            (self.block, "<u8"),
+            (self.write, "u1"),
+            (self.gap, "<u4"),
+            (self.hit_level, "i1"),
+            (self.hit_rank, "i1"),
+            (self.llc_when, "<i8"),
+            (self.llc_op, "i1"),
+            (self.llc_block, "<u8"),
+            (self.final_llc_blocks, "<u8"),
+        ):
+            digest.update(np.ascontiguousarray(arr, dtype=dtype).tobytes())
+        return digest.hexdigest()
 
     def base_hit_rates(self) -> dict[int, float]:
         """Per-level hit rates of the base case (Figure 9)."""

@@ -365,6 +365,59 @@ class CacheHierarchy:
             return True
         return self.llc.contains(block)
 
+    def check_block_inclusion(self, block: int) -> list[str]:
+        """Verify the policy invariant for one block only.
+
+        The per-access fast path of checked mode (:mod:`repro.checking`):
+        after an access completes, only the blocks it filled or evicted can
+        have changed residency, so checking those suffices between the
+        periodic full :meth:`check_inclusion` sweeps.  Cost is a handful of
+        ``contains`` probes per call.
+        """
+        problems: list[str] = []
+        if self.policy is InclusionPolicy.NINE:
+            return problems  # NINE guarantees nothing — that is its point
+        if self.policy is InclusionPolicy.INCLUSIVE:
+            for core in range(self.cores):
+                for level in range(1, self.num_levels):
+                    if self.private[level - 1][core].contains(block):
+                        for deeper in range(level + 1, self.num_levels + 1):
+                            if not self.cache_at(core, deeper).contains(block):
+                                problems.append(
+                                    f"core{core} L{level} block {block:#x} "
+                                    f"missing at L{deeper}"
+                                )
+        elif self.policy is InclusionPolicy.HYBRID:
+            for core in range(self.cores):
+                holders = [
+                    level
+                    for level in range(1, self.num_levels)
+                    if self.private[level - 1][core].contains(block)
+                ]
+                if holders and not self.llc.contains(block):
+                    problems.append(
+                        f"core{core} L{holders[0]} block {block:#x} missing at LLC"
+                    )
+                if len(holders) > 1:
+                    problems.append(
+                        f"core{core} block {block:#x} at levels {holders} "
+                        f"(hybrid allows one private copy)"
+                    )
+        else:  # EXCLUSIVE
+            for core in range(self.cores):
+                holders = [
+                    level
+                    for level in range(1, self.num_levels)
+                    if self.private[level - 1][core].contains(block)
+                ]
+                if self.llc.contains(block):
+                    holders.append(self.num_levels)
+                if len(holders) > 1:
+                    problems.append(
+                        f"core{core} block {block:#x} at levels {holders} (exclusive)"
+                    )
+        return problems
+
     def check_inclusion(self) -> list[str]:
         """Verify the inclusion invariants; returns violation descriptions.
 

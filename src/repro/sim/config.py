@@ -76,6 +76,11 @@ class SimConfig:
     #: set, memory accesses are charged pattern-dependent latency/energy
     #: and the flat ``memory_latency``/``memory_energy_nj`` are ignored.
     dram: "object | None" = None
+    #: Opt-in invariant checking (see :mod:`repro.checking`).  Orthogonal
+    #: to the content trajectory — a checked walk must produce the same
+    #: stream as an unchecked one — so it is excluded from comparisons and
+    #: from :meth:`cache_key`.  ``REPRO_CHECKED=1`` enables it globally.
+    checked: bool = field(default=False, compare=False)
     extra: dict = field(default_factory=dict, compare=False)
 
     def __post_init__(self) -> None:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import checking
 from repro.hierarchy.events import OutcomeRecorder, OutcomeStream
 from repro.hierarchy.hierarchy import CacheHierarchy
 from repro.sim.config import SimConfig
@@ -60,7 +61,15 @@ class ContentSimulator:
     def __init__(self, config: SimConfig) -> None:
         self.config = config
 
-    def run(self, workload: Workload) -> OutcomeStream:
+    def run(self, workload: Workload, max_accesses: int | None = None) -> OutcomeStream:
+        """Walk ``workload`` through the hierarchy; freeze the streams.
+
+        ``max_accesses`` truncates the merged multi-core order — the
+        replay path (:func:`repro.checking.replay`) uses it to re-run only
+        the window up to a recorded violation.  A truncated walk is a
+        prefix of the full one (the merge order is deterministic), but its
+        fingerprint naturally differs from the full stream's.
+        """
         cfg = self.config
         if workload.cores != cfg.machine.cores:
             raise ConfigError(
@@ -70,13 +79,30 @@ class ContentSimulator:
         recorder = OutcomeRecorder(num_levels=cfg.machine.num_levels)
         llc_level = cfg.machine.num_levels
 
-        def on_fill(level: int, block: int) -> None:
-            if level == llc_level:
-                recorder.llc_fill(block)
+        checker = None
+        if checking.enabled(cfg):
+            ctx = checking.CheckContext.for_run(cfg, workload.name, runner="content")
+            checker = checking.HierarchyChecker(ctx)
 
-        def on_evict(level: int, block: int) -> None:
-            if level == llc_level:
-                recorder.llc_evict(block)
+            def on_fill(level: int, block: int) -> None:
+                if level == llc_level:
+                    recorder.llc_fill(block)
+                checker.on_fill(level, block)
+
+            def on_evict(level: int, block: int) -> None:
+                if level == llc_level:
+                    recorder.llc_evict(block)
+                checker.on_evict(level, block)
+
+        else:
+
+            def on_fill(level: int, block: int) -> None:
+                if level == llc_level:
+                    recorder.llc_fill(block)
+
+            def on_evict(level: int, block: int) -> None:
+                if level == llc_level:
+                    recorder.llc_evict(block)
 
         hierarchy_cls = CacheHierarchy
         if cfg.coherent:
@@ -92,7 +118,13 @@ class ContentSimulator:
             seed=cfg.seed,
         )
 
+        if checker is not None:
+            checker.bind(hier)
+
         merged_core, merged_idx = merge_order(workload)
+        if max_accesses is not None:
+            merged_core = merged_core[:max_accesses]
+            merged_idx = merged_idx[:max_accesses]
 
         # Pre-extract per-core python lists: iterating numpy scalars is
         # several times slower than list iteration in the hot loop.
@@ -102,12 +134,27 @@ class ContentSimulator:
 
         access = hier.access
         record = recorder.record
-        for core, idx in zip(merged_core.tolist(), merged_idx.tolist()):
-            block = blocks[core][idx]
-            write = writes[core][idx]
-            hit_level = access(core, block, write)
-            record(core, block, write, gaps[core][idx], hit_level,
-                   hier.last_hit_rank)
+        if checker is None:
+            for core, idx in zip(merged_core.tolist(), merged_idx.tolist()):
+                block = blocks[core][idx]
+                write = writes[core][idx]
+                hit_level = access(core, block, write)
+                record(core, block, write, gaps[core][idx], hit_level,
+                       hier.last_hit_rank)
+        else:
+            # Checked variant of the same loop (kept separate so the
+            # unchecked path pays nothing, not even a branch per access).
+            after_access = checker.after_access
+            ref = -1
+            for core, idx in zip(merged_core.tolist(), merged_idx.tolist()):
+                ref += 1
+                block = blocks[core][idx]
+                write = writes[core][idx]
+                hit_level = access(core, block, write)
+                record(core, block, write, gaps[core][idx], hit_level,
+                       hier.last_hit_rank)
+                after_access(ref)
+            checker.final(ref)
 
         stream = recorder.freeze(hier.llc_resident_blocks())
         self._last_hierarchy = hier  # kept for tests/inspection

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import checking
 from repro.core.exclusive import ExclusiveReDHiP
 from repro.energy.accounting import CostTable, EnergyLedger, StaticEnergyModel
 from repro.energy.timing import TimingResult
@@ -86,13 +87,33 @@ class IntegratedSimulator:
 
         pending: list[tuple[int, int]] = []  # (op, block) at the LLC
 
-        def on_fill(level: int, block: int) -> None:
-            if level == num_levels:
-                pending.append((_FILL, block))
+        ctx = None
+        checker = None
+        if checking.enabled(cfg):
+            ctx = checking.CheckContext.for_run(
+                cfg, workload.name, runner="integrated", scheme=scheme.name
+            )
+            checker = checking.HierarchyChecker(ctx)
 
-        def on_evict(level: int, block: int) -> None:
-            if level == num_levels:
-                pending.append((_EVICT, block))
+            def on_fill(level: int, block: int) -> None:
+                if level == num_levels:
+                    pending.append((_FILL, block))
+                checker.on_fill(level, block)
+
+            def on_evict(level: int, block: int) -> None:
+                if level == num_levels:
+                    pending.append((_EVICT, block))
+                checker.on_evict(level, block)
+
+        else:
+
+            def on_fill(level: int, block: int) -> None:
+                if level == num_levels:
+                    pending.append((_FILL, block))
+
+            def on_evict(level: int, block: int) -> None:
+                if level == num_levels:
+                    pending.append((_EVICT, block))
 
         hierarchy_cls = CacheHierarchy
         if cfg.coherent:
@@ -103,7 +124,18 @@ class IntegratedSimulator:
             machine, policy=cfg.policy, replacement=cfg.replacement,
             on_fill=on_fill, on_evict=on_evict, seed=cfg.seed,
         )
+        if checker is not None:
+            checker.bind(hier)
         predictor = scheme.build_predictor(machine)
+        if (
+            checker is not None
+            and predictor is not None
+            and hasattr(predictor, "table")
+            and hasattr(predictor, "mirror")
+            and hasattr(predictor, "engine")
+            and hasattr(predictor, "_index")
+        ):
+            predictor = checking.CheckedPredictor(predictor, hier, ctx, pending)
         lookup_delay = scheme.resolve_lookup_delay(machine)
         lookup_energy = scheme.resolve_lookup_energy(machine)
         oracle = scheme.kind == "oracle"
@@ -176,6 +208,19 @@ class IntegratedSimulator:
             return par_d[level] if hit else tag_d[level]
 
         access = hier.access
+        if checker is not None:
+            # Checked variant: track the access cursor and run the deferred
+            # per-block inclusion checks once each access has settled.  The
+            # unchecked path keeps the raw bound method — zero added work.
+            inner_access = access
+            after_access = checker.after_access
+
+            def access(core: int, block: int, write: bool = False) -> int:
+                ctx.current_ref += 1
+                hl = inner_access(core, block, write)
+                after_access(ctx.current_ref)
+                return hl
+
         for core, idx in zip(merged_core.tolist(), merged_idx.tolist()):
             block = blocks[core][idx]
             hl = access(core, block, writes[core][idx])
@@ -278,7 +323,7 @@ class IntegratedSimulator:
                 "useful": sum(p.stats.useful for p in prefetchers),
                 "dropped_duplicate": sum(p.stats.dropped_duplicate for p in prefetchers),
             }
-        return SchemeResult(
+        result = SchemeResult(
             scheme=scheme.name,
             workload=workload.name,
             machine=machine.name,
@@ -296,6 +341,10 @@ class IntegratedSimulator:
             predictor_stats=predictor_stats,
             extra=extra,
         )
+        if ctx is not None:
+            checker.final(ctx.current_ref)
+            checking.check_result(result, ctx)
+        return result
 
     def _issue_prefetch(self, hier, predictor, costs, ledger, pending,
                         core, target, lookup_energy, prefetcher) -> None:

@@ -24,6 +24,7 @@ Typical use (this is what the benchmark harness does under
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.hierarchy.events import OutcomeStream
@@ -38,10 +39,23 @@ __all__ = ["walk_one", "prewarm_streams", "default_workers"]
 
 
 def default_workers() -> int:
-    """Worker count: ``REPRO_PARALLEL`` if set, else cores-1 (min 1)."""
+    """Worker count: ``REPRO_PARALLEL`` if set, else cores-1 (min 1).
+
+    A non-integer ``REPRO_PARALLEL`` (``"auto"``, ``"4x"``, …) is not an
+    error — a misconfigured shell must not abort a long benchmark run —
+    it warns and falls back to the cores-1 default.
+    """
     env = os.environ.get("REPRO_PARALLEL")
     if env:
-        return max(1, int(env))
+        try:
+            return max(1, int(env))
+        except ValueError:
+            warnings.warn(
+                f"ignoring non-integer REPRO_PARALLEL={env!r}; "
+                f"falling back to cores-1",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     return max(1, (os.cpu_count() or 2) - 1)
 
 

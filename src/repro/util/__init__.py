@@ -13,6 +13,7 @@ from repro.util.bitops import (
     one_hot64,
     popcount64_array,
 )
+from repro.util.proptest import cases, random_blocks, random_pow2
 from repro.util.rng import make_rng, seed_from_string
 from repro.util.stats import (
     geometric_mean,
@@ -32,6 +33,7 @@ from repro.util.validation import (
 __all__ = [
     "ReproError",
     "bit_slice",
+    "cases",
     "check_in",
     "check_positive",
     "check_pow2",
@@ -45,6 +47,8 @@ __all__ = [
     "one_hot64",
     "percent",
     "popcount64_array",
+    "random_blocks",
+    "random_pow2",
     "ratio_series",
     "seed_from_string",
     "summarize",

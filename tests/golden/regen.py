@@ -1,0 +1,68 @@
+"""Golden regression data: content fingerprints + fig6/fig7 headlines.
+
+Pins the simulator's observable behaviour for three seeds on the tiny
+machine at a reduced trace length: the OutcomeStream fingerprint of every
+golden workload (exact — any content-walk change shows up here first) and
+the headline speedup / dynamic-energy series of the two flagship figures
+(compared at tight relative tolerance by ``tests/test_golden_fingerprints.py``).
+
+Regenerate after an *intentional* behaviour change with exactly one
+command, then review the JSON diff like any other code change:
+
+    PYTHONPATH=src python tests/golden/regen.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+GOLDEN_PATH = Path(__file__).parent / "tiny_golden.json"
+MACHINE = "tiny"
+REFS_PER_CORE = 2000
+SEEDS = (1, 2, 3)
+WORKLOADS = ("mcf", "lbm")
+
+
+def compute_golden() -> dict:
+    """Recompute the full golden payload (shared by regen and the test)."""
+    from repro.energy.params import get_machine
+    from repro.experiments.registry import run_experiment
+    from repro.sim.config import SimConfig
+    from repro.sim.content import ContentSimulator
+    from repro.workloads import get_workload
+
+    machine = get_machine(MACHINE)
+    data: dict = {
+        "meta": {
+            "machine": MACHINE,
+            "refs_per_core": REFS_PER_CORE,
+            "workloads": list(WORKLOADS),
+            "regen": "PYTHONPATH=src python tests/golden/regen.py",
+        },
+        "seeds": {},
+    }
+    for seed in SEEDS:
+        cfg = SimConfig(machine=machine, refs_per_core=REFS_PER_CORE, seed=seed)
+        fingerprints = {}
+        for name in WORKLOADS:
+            workload = get_workload(name, machine, REFS_PER_CORE, seed)
+            fingerprints[name] = ContentSimulator(cfg).run(workload).fingerprint()
+        fig6 = run_experiment("fig6", cfg, workloads=WORKLOADS)
+        fig7 = run_experiment("fig7", cfg, workloads=WORKLOADS)
+        data["seeds"][str(seed)] = {
+            "fingerprints": fingerprints,
+            "fig6_speedup": fig6.series,
+            "fig7_dynamic_energy": fig7.series,
+        }
+    return data
+
+
+def main() -> None:
+    data = compute_golden()
+    GOLDEN_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

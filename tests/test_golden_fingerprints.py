@@ -1,0 +1,66 @@
+"""Golden regression: fingerprints and figure headlines must not drift.
+
+The pinned values live in ``tests/golden/tiny_golden.json``; the compute
+logic is shared with the regeneration script so the test and the file can
+never use different recipes.  After an intentional behaviour change,
+regenerate with one command and review the diff:
+
+    PYTHONPATH=src python tests/golden/regen.py
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_REGEN = Path(__file__).parent / "golden" / "regen.py"
+_spec = importlib.util.spec_from_file_location("golden_regen", _REGEN)
+golden_regen = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(golden_regen)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    assert golden_regen.GOLDEN_PATH.exists(), (
+        f"missing {golden_regen.GOLDEN_PATH}; "
+        f"run: PYTHONPATH=src python {_REGEN}"
+    )
+    return json.loads(golden_regen.GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def fresh():
+    return golden_regen.compute_golden()
+
+
+def test_golden_meta_matches_recipe(golden):
+    assert golden["meta"]["machine"] == golden_regen.MACHINE
+    assert golden["meta"]["refs_per_core"] == golden_regen.REFS_PER_CORE
+    assert golden["meta"]["workloads"] == list(golden_regen.WORKLOADS)
+    assert sorted(golden["seeds"]) == sorted(str(s) for s in golden_regen.SEEDS)
+
+
+@pytest.mark.parametrize("seed", [str(s) for s in golden_regen.SEEDS])
+def test_content_fingerprints_exact(golden, fresh, seed):
+    """Fingerprints are bit-exact: any divergence in the content walk —
+    ordering, replacement, inclusion traffic — lands here first."""
+    assert fresh["seeds"][seed]["fingerprints"] == \
+        golden["seeds"][seed]["fingerprints"]
+
+
+@pytest.mark.parametrize("seed", [str(s) for s in golden_regen.SEEDS])
+@pytest.mark.parametrize("figure", ["fig6_speedup", "fig7_dynamic_energy"])
+def test_figure_headlines_pinned(golden, fresh, seed, figure):
+    want = golden["seeds"][seed][figure]
+    got = fresh["seeds"][seed][figure]
+    assert sorted(got) == sorted(want), f"row set changed for {figure}"
+    for row, schemes in want.items():
+        assert sorted(got[row]) == sorted(schemes), f"scheme set changed: {row}"
+        for scheme, value in schemes.items():
+            assert got[row][scheme] == pytest.approx(value, rel=1e-9), (
+                f"{figure}[{row}][{scheme}] drifted; if intentional, "
+                f"regenerate: {golden['meta']['regen']}"
+            )

@@ -1,0 +1,177 @@
+"""Property-based tests for the ReDHiP core structures (§III-A).
+
+Generative, seeded-random coverage via :mod:`repro.util.proptest` — no
+external property-testing dependency.  Three paper-level properties:
+
+* the bits-hash index is always a valid table index, for *arbitrary*
+  64-bit block numbers, at any table geometry;
+* with ``p > k`` the (slot, set) decomposition of a table index is a
+  bijection: every entry belongs to exactly one LLC set and each set owns
+  exactly ``2**(p-k)`` entries — the structural fact behind the per-set
+  OR-decoder (Figure 4);
+* recalibration is a projection: sweeping twice from the same tag-mirror
+  state is idempotent and equals a from-scratch rebuild from the resident
+  blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.prediction_table import PredictionTable, pt_geometry
+from repro.core.recalibration import TagMirror
+from repro.util.bitops import mask
+from repro.util.proptest import cases, random_blocks, random_pow2
+
+
+def random_table(rng, min_p=8, max_p=14, min_k=2):
+    """A PredictionTable with random pow-2 geometry and p > k."""
+    size_bytes = random_pow2(rng, min_p - 3, max_p - 3)  # num_bits = 8*size
+    p = int(np.log2(size_bytes * 8))
+    k = int(rng.integers(min_k, p))
+    return PredictionTable(size_bytes, llc_set_bits=k)
+
+
+# --------------------------------------------------------- bits-hash range
+def test_index_in_range_for_arbitrary_blocks():
+    for i, rng in cases(seed=11, n=60):
+        table = random_table(rng)
+        blocks = random_blocks(rng, 256)
+        idx = table.indices_of(blocks)
+        assert idx.min() >= 0 and idx.max() < table.num_bits, f"case {i}"
+        # Scalar and vectorized paths agree, including at uint64 extremes.
+        for b in [0, 1, (1 << 64) - 1, int(blocks[0]), int(blocks[-1])]:
+            assert table.index_of(b) == (b & mask(table.p)), f"case {i}"
+            assert 0 <= table.index_of(b) < table.num_bits, f"case {i}"
+        scalar = np.array([table.index_of(int(b)) for b in blocks[:32]])
+        assert (idx[:32] == scalar).all(), f"case {i}"
+
+
+def test_set_and_test_agree_through_aliasing():
+    for i, rng in cases(seed=23, n=40):
+        table = random_table(rng)
+        blocks = random_blocks(rng, 128)
+        for b in blocks[:64]:
+            table.set_bit(int(b))
+        assert table.test_many(blocks[:64]).all(), f"case {i}"
+        # Any block aliasing a set entry also tests positive (and only
+        # those): the table cannot distinguish within an entry.
+        expect = table._bits[table.indices_of(blocks)]
+        got = np.array([table.test(int(b)) for b in blocks])
+        assert (got == expect).all(), f"case {i}"
+
+
+# -------------------------------------------------- p > k slot/set bijection
+def test_slot_set_decomposition_is_a_bijection():
+    for i, rng in cases(seed=37, n=40):
+        table = random_table(rng)
+        p, k = table.p, table.k
+        slots = table.slots_per_set
+        assert slots == 1 << (p - k), f"case {i}"
+        # (slot, set) -> (slot << k) | set enumerates every entry once.
+        sets = np.arange(1 << k, dtype=np.int64)
+        slot_ids = np.arange(slots, dtype=np.int64)
+        indices = (slot_ids[:, None] << k) | sets[None, :]
+        flat = indices.ravel()
+        assert len(flat) == table.num_bits, f"case {i}"
+        assert len(np.unique(flat)) == table.num_bits, f"case {i}"
+        # ...and inverts: the set of an entry is its low-k bits.
+        assert (indices & mask(k) == sets[None, :]).all(), f"case {i}"
+        assert (indices >> k == slot_ids[:, None]).all(), f"case {i}"
+
+
+def test_blocks_sharing_an_entry_share_an_llc_set():
+    """The property that makes the one-cycle per-set rebuild possible:
+    every block hashing to table entry e maps to LLC set e & mask(k)."""
+    for i, rng in cases(seed=41, n=40):
+        table = random_table(rng)
+        k = table.k
+        blocks = random_blocks(rng, 512)
+        idx = table.indices_of(blocks)
+        set_of_block = (blocks & np.uint64(mask(k))).astype(np.int64)
+        set_of_entry = idx & mask(k)
+        assert (set_of_block == set_of_entry).all(), f"case {i}"
+
+
+def test_geometry_degenerates_gracefully_at_p_le_k():
+    for i, rng in cases(seed=43, n=20):
+        size_bytes = random_pow2(rng, 3, 8)
+        num_bits = size_bytes * 8
+        p = int(np.log2(num_bits))
+        k = int(rng.integers(p, p + 8))
+        geo = pt_geometry(size_bytes, llc_set_bits=k)
+        assert geo["slots_per_set"] == 0, f"case {i}"
+        assert geo["p"] == p and geo["num_bits"] == num_bits, f"case {i}"
+
+
+def test_line_words_pack_matches_flat_bits():
+    for i, rng in cases(seed=47, n=20):
+        table = random_table(rng, min_p=8, max_p=12)
+        for b in random_blocks(rng, 64):
+            table.set_bit(int(b))
+        words = table.line_words()
+        unpacked = np.unpackbits(
+            words.view(np.uint8), bitorder="little"
+        ).astype(bool)[: table.num_bits]
+        assert (unpacked == table._bits).all(), f"case {i}"
+
+
+# ------------------------------------------------- recalibration idempotence
+def random_fill_evict_history(rng, table, n_ops=400):
+    """Drive random fills/evicts through table+mirror the way the LLC
+    would; returns the resident-block multiset."""
+    mirror = TagMirror(table.num_bits, mask(table.p))
+    resident = []
+    universe = random_blocks(rng, 64)
+    for _ in range(n_ops):
+        if resident and rng.random() < 0.4:
+            victim = resident.pop(int(rng.integers(len(resident))))
+            mirror.evict(int(victim))
+        else:
+            b = int(universe[int(rng.integers(len(universe)))])
+            resident.append(b)
+            table.set_bit(b)
+            mirror.fill(b)
+    return mirror, resident
+
+
+def test_recalibrating_twice_is_idempotent():
+    for i, rng in cases(seed=53, n=40):
+        table = random_table(rng)
+        mirror, resident = random_fill_evict_history(rng, table)
+        table.load_from_counts(mirror.counts)
+        first = table.snapshot()
+        table.load_from_counts(mirror.counts)
+        assert (table.snapshot() == first).all(), f"case {i}"
+        # ...and equals the from-first-principles rebuild.
+        rebuilt = PredictionTable(table.size_bytes, table.k)
+        rebuilt.load_from_blocks(resident)
+        assert (rebuilt.snapshot() == first).all(), f"case {i}"
+        assert table.verify_against_blocks(resident) == [], f"case {i}"
+        assert mirror.verify_against_blocks(resident) == [], f"case {i}"
+
+
+def test_table_is_superset_between_sweeps():
+    """Between sweeps bits are never cleared, so the table stays a
+    superset of the residents no matter the eviction history — ReDHiP's
+    no-false-negative guarantee."""
+    for i, rng in cases(seed=59, n=40):
+        table = random_table(rng)
+        mirror, resident = random_fill_evict_history(rng, table)
+        assert table.is_superset_of_blocks(resident), f"case {i}"
+        # After a sweep it is exactly the presence bitmap (no stale bits).
+        table.load_from_counts(mirror.counts)
+        assert table.verify_against_blocks(resident) == [], f"case {i}"
+        assert table.is_superset_of_blocks(resident), f"case {i}"
+
+
+def test_mirror_catches_any_single_count_corruption():
+    for i, rng in cases(seed=61, n=30):
+        table = random_table(rng)
+        mirror, resident = random_fill_evict_history(rng, table)
+        if not resident:
+            continue
+        entry = int(table.index_of(int(resident[int(rng.integers(len(resident)))])))
+        mirror._counts[entry] += 1
+        problems = mirror.verify_against_blocks(resident)
+        assert problems and f"entry {entry}" in problems[0], f"case {i}"
