@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Cold-vs-warm benchmark smoke: seed of the perf trajectory (PR 2).
+
+Regenerates Figure 6 — the artifact ``benchmarks/bench_fig06_speedup.py``
+times — twice through the persistent stream cache:
+
+* **cold**: empty cache directory, every content walk runs and is saved;
+* **warm**: fresh process-level state (runner memo cleared), every stream
+  loads from disk — zero content walks, verified by instrumentation.
+
+It also times the ReDHiP replay kernel head-to-head (vectorized vs
+sequential, identical predictor configuration) on the largest workload's
+stream, since the replay is the warm path's remaining hot loop.
+
+Writes throughput numbers to ``BENCH_pr2.json`` (repo root by default) so
+CI accumulates a perf history.  Usage::
+
+    PYTHONPATH=src python scripts/bench_pr2.py [--refs N] [--machine M] \
+        [--out BENCH_pr2.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+
+def parse_args():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--machine", default="scaled")
+    ap.add_argument("--refs", type=int, default=20_000)
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--out", type=Path, default=Path("BENCH_pr2.json"))
+    return ap.parse_args()
+
+
+def main() -> int:
+    args = parse_args()
+    from repro.core.redhip import ReDHiPController
+    from repro.energy.params import get_machine
+    from repro.experiments import clear_cache, run_experiment
+    from repro.sim.config import SimConfig
+    from repro.sim.content import ContentSimulator
+    from repro.sim.evaluate import replay_predictor
+    from repro.sim.runner import ExperimentRunner
+    from repro.sim.vector_replay import replay_redhip_vectorized
+
+    machine = get_machine(args.machine)
+    walks = []
+    real_run = ContentSimulator.run
+
+    def counting_run(self, workload, max_accesses=None):
+        walks.append(workload.name)
+        return real_run(self, workload, max_accesses=max_accesses)
+
+    ContentSimulator.run = counting_run
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
+            cfg = SimConfig(machine=machine, refs_per_core=args.refs,
+                            seed=args.seed, stream_cache=cache_dir)
+
+            t0 = time.perf_counter()
+            run_experiment("fig6", cfg)
+            cold_s = time.perf_counter() - t0
+            cold_walks = len(walks)
+
+            clear_cache()  # drop the in-process runner memo; disk stays
+            walks.clear()
+            t0 = time.perf_counter()
+            run_experiment("fig6", cfg)
+            warm_s = time.perf_counter() - t0
+            warm_walks = len(walks)
+            clear_cache()
+
+            # Replay-kernel head-to-head on one stream.
+            runner = ExperimentRunner(cfg)
+            stream = runner.stream("mcf")
+            period = cfg.recal_period
+            t0 = time.perf_counter()
+            seq = ReDHiPController(machine, recal_period=period)
+            replay_predictor(stream, seq)
+            replay_seq_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            vec = ReDHiPController(machine, recal_period=period)
+            replay_redhip_vectorized(stream, vec)
+            replay_vec_s = time.perf_counter() - t0
+            assert seq.stats() == vec.stats(), "replay paths diverged"
+    finally:
+        ContentSimulator.run = real_run
+
+    accesses = machine.cores * args.refs
+    result = {
+        "benchmark": "fig6 cold-vs-warm stream cache + ReDHiP replay kernel",
+        "machine": args.machine,
+        "refs_per_core": args.refs,
+        "seed": args.seed,
+        "python": platform.python_version(),
+        "fig6_cold_s": round(cold_s, 4),
+        "fig6_warm_s": round(warm_s, 4),
+        "fig6_cold_walks": cold_walks,
+        "fig6_warm_walks": warm_walks,
+        "fig6_warm_speedup": round(cold_s / warm_s, 2) if warm_s else None,
+        "replay_sequential_s": round(replay_seq_s, 4),
+        "replay_vectorized_s": round(replay_vec_s, 4),
+        "replay_speedup": round(replay_seq_s / replay_vec_s, 2)
+        if replay_vec_s else None,
+        "replay_misses_per_s_vectorized": round(
+            int((stream.hit_level != 1).sum()) / replay_vec_s
+        ) if replay_vec_s else None,
+        "accesses_per_workload": accesses,
+    }
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    if warm_walks != 0:
+        print(f"FAIL: warm regeneration ran {warm_walks} content walks "
+              "(expected 0)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

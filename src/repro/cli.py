@@ -98,6 +98,19 @@ def build_parser() -> argparse.ArgumentParser:
     ck.add_argument("--replay", type=Path, default=None, metavar="BUNDLE",
                     help="re-run the window recorded in a replay bundle; "
                          "exits 1 if the violation still reproduces")
+
+    ca = sub.add_parser(
+        "cache",
+        help="inspect the persistent stream cache "
+             "(REPRO_STREAM_CACHE / SimConfig.stream_cache)",
+    )
+    ca.add_argument("action", choices=("ls", "clear", "verify"),
+                    help="ls: list entries; clear: delete all entries; "
+                         "verify: re-fingerprint every entry (exit 1 on any "
+                         "corrupt/stale file)")
+    ca.add_argument("--dir", type=Path, default=None,
+                    help="cache directory (default: $REPRO_STREAM_CACHE, "
+                         "else .repro-cache)")
     return parser
 
 
@@ -210,6 +223,45 @@ def _check(args) -> int:
     return 0
 
 
+def _cache(args) -> int:
+    """``repro cache {ls,clear,verify}``: persistent stream-cache admin."""
+    import os
+
+    from repro.sim.streamcache import CACHE_ENV, DEFAULT_CACHE_DIR, StreamCache
+
+    directory = args.dir
+    if directory is None:
+        env = os.environ.get(CACHE_ENV, "").strip()
+        directory = env if env not in ("", "0", "1") else DEFAULT_CACHE_DIR
+    cache = StreamCache(directory)
+    if args.action == "ls":
+        entries = cache.entries()
+        if not entries:
+            print(f"{cache.directory}: empty")
+            return 0
+        total = 0
+        for e in entries:
+            total += e.size_bytes
+            if e.ok:
+                print(f"{e.path.name}  {e.num_accesses} accesses  "
+                      f"{e.size_bytes >> 10} KiB  fp {e.fingerprint[:12]}")
+            else:
+                print(f"{e.path.name}  {e.size_bytes >> 10} KiB  UNREADABLE")
+        print(f"{len(entries)} entries, {total >> 10} KiB total in {cache.directory}")
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.directory}")
+        return 0
+    ok, bad = cache.verify()
+    for path in ok:
+        print(f"ok      {path.name}")
+    for path in bad:
+        print(f"CORRUPT {path.name}")
+    print(f"{len(ok)} ok, {len(bad)} corrupt/stale in {cache.directory}")
+    return 1 if bad else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -247,6 +299,8 @@ def main(argv: list[str] | None = None) -> int:
             _analyze(args)
         elif args.command == "check":
             return _check(args)
+        elif args.command == "cache":
+            return _cache(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -173,8 +173,17 @@ class PredictionTable:
         Entry ``[s, w]`` is the ``w``-th 64-bit word of the line(s)
         associated with flat index range ``[64*(s*W+w), …)``; tests use this
         to check the set/line correspondence.
+
+        Sub-64-bit tables (``pt_geometry`` deliberately admits degenerate
+        sizes for sweep lower bounds) pack to fewer than 8 bytes, which a
+        bare ``.view("<u8")`` rejects; the packed buffer is zero-padded to
+        a whole word so every legal table yields at least one line word.
         """
         packed = np.packbits(self._bits, bitorder="little")
+        if packed.size % 8:
+            packed = np.concatenate(
+                [packed, np.zeros(8 - packed.size % 8, dtype=np.uint8)]
+            )
         return packed.view("<u8").copy()
 
     def snapshot(self) -> np.ndarray:

@@ -7,6 +7,8 @@ from repro.sim.content import ContentSimulator, merge_order
 from repro.sim.evaluate import SchemeResult, evaluate_scheme, replay_predictor
 from repro.sim.integrated import IntegratedSimulator, PrefetchConfig
 from repro.sim.parallel import default_workers, prewarm_streams
+from repro.sim.streamcache import StreamCache, resolve_cache, stream_key
+from repro.sim.vector_replay import replay_redhip_vectorized
 from repro.sim.report import (
     ExperimentResult,
     add_average,
@@ -26,6 +28,7 @@ __all__ = [
     "PrefetchConfig",
     "SchemeResult",
     "SimConfig",
+    "StreamCache",
     "add_average",
     "bench_config",
     "default_recal_period",
@@ -38,5 +41,8 @@ __all__ = [
     "merge_order",
     "perf_energy_table",
     "replay_predictor",
+    "replay_redhip_vectorized",
+    "resolve_cache",
     "speedup_table",
+    "stream_key",
 ]

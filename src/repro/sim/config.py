@@ -13,6 +13,9 @@ Environment knobs honoured by the benchmark/experiment layer:
     References per core for benchmark runs (default 80 000 — long enough for
     steady-state LLC churn on the scaled machine while keeping a full
     figure regeneration in minutes).
+``REPRO_STREAM_CACHE``
+    Persistent stream-cache directory (``1`` selects ``.repro-cache/``);
+    see :mod:`repro.sim.streamcache`.
 """
 
 from __future__ import annotations
@@ -81,6 +84,12 @@ class SimConfig:
     #: stream as an unchecked one — so it is excluded from comparisons and
     #: from :meth:`cache_key`.  ``REPRO_CHECKED=1`` enables it globally.
     checked: bool = field(default=False, compare=False)
+    #: Opt-in persistent stream cache directory (see
+    #: :mod:`repro.sim.streamcache`).  Where cached content walks live —
+    #: not *what* they compute — so, like ``checked``, it is excluded from
+    #: comparisons and from :meth:`cache_key`.  ``REPRO_STREAM_CACHE=dir``
+    #: enables it globally.
+    stream_cache: "str | None" = field(default=None, compare=False)
     extra: dict = field(default_factory=dict, compare=False)
 
     def __post_init__(self) -> None:

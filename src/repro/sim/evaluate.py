@@ -33,11 +33,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import checking
 from repro.energy.accounting import CostTable, EnergyLedger, StaticEnergyModel
 from repro.energy.params import MachineConfig
 from repro.energy.timing import TimingModel, TimingResult
 from repro.hierarchy.events import EVENT_FILL, OutcomeStream
 from repro.predictors.base import PresencePredictor, SchemeSpec
+from repro.sim import vector_replay
 from repro.util.validation import ReproError
 from repro.workloads.trace import Workload
 
@@ -155,6 +157,50 @@ def replay_predictor(
     return predicted, consulted, stall
 
 
+def _assert_replay_equivalent(
+    stream: OutcomeStream,
+    scheme: SchemeSpec,
+    machine: MachineConfig,
+    predictor: PresencePredictor,
+    predicted: np.ndarray,
+    consulted: np.ndarray,
+    stall: float,
+) -> None:
+    """Checked mode: the vectorized replay must match a sequential re-run.
+
+    Builds a second fresh predictor, replays it sequentially, and compares
+    every observable the evaluation consumes — per-access predictions and
+    consults, stall cycles, final table bits, mirror counts, and the
+    telemetry dict.  Any divergence is a bug in the vectorized kernel (or
+    a predictor that wrongly passed :func:`vector_replay.eligible`).
+    """
+    reference = scheme.build_predictor(machine)
+    ref_pred, ref_cons, ref_stall = replay_predictor(stream, reference)
+    problems = []
+    if not np.array_equal(predicted, ref_pred):
+        bad = np.nonzero(predicted != ref_pred)[0]
+        problems.append(
+            f"{len(bad)} prediction(s) differ (first at access {int(bad[0])})"
+        )
+    if not np.array_equal(consulted, ref_cons):
+        problems.append("consulted mask differs")
+    if stall != ref_stall:
+        problems.append(f"stall {stall} != sequential {ref_stall}")
+    if not np.array_equal(predictor.table._bits, reference.table._bits):
+        problems.append("final table bits differ")
+    if not np.array_equal(predictor.mirror._counts, reference.mirror._counts):
+        problems.append("final mirror counts differ")
+    if predictor.stats() != reference.stats():
+        problems.append(
+            f"telemetry differs: {predictor.stats()} != {reference.stats()}"
+        )
+    if problems:
+        raise ReproError(
+            f"vectorized replay diverged from sequential for scheme "
+            f"{scheme.name!r}: " + "; ".join(problems)
+        )
+
+
 def evaluate_scheme(
     stream: OutcomeStream,
     machine: MachineConfig,
@@ -165,6 +211,7 @@ def evaluate_scheme(
     memory_energy_nj: float = 0.0,
     mlp: float = 1.0,
     dram=None,
+    checked: "bool | None" = None,
 ) -> SchemeResult:
     """Attribute latency and energy of ``scheme`` over the content stream.
 
@@ -173,6 +220,12 @@ def evaluate_scheme(
     same way under every scheme (prediction changes which *caches* are
     probed, never whether memory is reached), which dilutes relative gains
     — the sensitivity the ``ext-memory`` experiment studies.
+
+    Plain ReDHiP predictors replay through the epoch-batched NumPy kernel
+    (:mod:`repro.sim.vector_replay`) unless ``REPRO_NO_VECTOR_REPLAY`` is
+    set; ``checked`` (default: the ``REPRO_CHECKED`` environment) replays
+    *both* paths and raises if they diverge in any observable — the
+    equivalence oracle for the vectorized kernel.
     """
     costs = CostTable(machine)
     ledger = EnergyLedger()
@@ -187,9 +240,20 @@ def evaluate_scheme(
     predictor = None
     stall = 0.0
     consulted = np.zeros(n, dtype=bool)
+    if checked is None:
+        checked = checking.enabled(None)
     if scheme.kind == "predictor":
         predictor = scheme.build_predictor(machine)
-        predicted, consulted, stall = replay_predictor(stream, predictor)
+        if vector_replay.eligible(predictor) and not vector_replay.vector_replay_disabled():
+            predicted, consulted, stall = vector_replay.replay_redhip_vectorized(
+                stream, predictor
+            )
+            if checked:
+                _assert_replay_equivalent(
+                    stream, scheme, machine, predictor, predicted, consulted, stall
+                )
+        else:
+            predicted, consulted, stall = replay_predictor(stream, predictor)
         fn = int((~predicted & (h >= 2)).sum())
         if fn:
             raise ReproError(
@@ -217,6 +281,9 @@ def evaluate_scheme(
             int(consulted.sum()),
         )
 
+    # Per-level reach/hit tallies, computed once here and reused for the
+    # per-level accounting below (they were recomputed per level before).
+    level_tallies: dict[int, tuple[int, int]] = {}
     for level in range(2, num_levels + 1):
         reach = (h == 0) | (h >= level)
         if scheme.skips_on_predicted_miss:
@@ -225,6 +292,7 @@ def evaluate_scheme(
         misses = reach & (h != level)
         n_reach = int(reach.sum())
         n_hits = int(hits.sum())
+        level_tallies[level] = (n_reach, n_hits)
         n_miss = n_reach - n_hits
         name = machine.level(level).name
         if level in scheme.phased_levels:
@@ -311,12 +379,9 @@ def evaluate_scheme(
     # ---- per-level accounting under this scheme ---------------------------
     level_lookups = {1: n}
     level_hits = {1: n - l1_misses}
-    for level in range(2, num_levels + 1):
-        reach = (h == 0) | (h >= level)
-        if scheme.skips_on_predicted_miss:
-            reach = reach & predicted
-        level_lookups[level] = int(reach.sum())
-        level_hits[level] = int((reach & (h == level)).sum())
+    for level, (n_reach, n_hits) in level_tallies.items():
+        level_lookups[level] = n_reach
+        level_hits[level] = n_hits
     hit_rates = {
         lvl: (level_hits[lvl] / level_lookups[lvl] if level_lookups[lvl] else 0.0)
         for lvl in level_lookups

@@ -32,6 +32,7 @@ from repro.hierarchy.inclusion import InclusionPolicy
 from repro.sim.config import SimConfig
 from repro.sim.content import ContentSimulator
 from repro.sim.runner import ExperimentRunner
+from repro.sim.streamcache import resolve_cache, stream_key
 from repro.util.validation import check_positive
 from repro.workloads import get_workload
 
@@ -83,15 +84,33 @@ def prewarm_streams(
     """Fill the runner's stream cache using a process pool.
 
     Returns {workload_name: stream}.  With ``workers=1`` (or a single
-    workload) the pool is skipped entirely — same results, no fork cost.
+    pending workload) the pool is skipped entirely — same results, no fork
+    cost.  Workloads whose streams are already in the runner's in-process
+    cache — or loadable from the persistent disk cache, when one is
+    enabled — are served from it and never re-walked, so a warm prewarm
+    spawns no pool at all.
     """
     names = [n for n in workload_names]
     nworkers = workers if workers is not None else default_workers()
     check_positive("workers", nworkers)
     cfg = runner.config if policy is None else runner.config.with_policy(policy)
+    disk = resolve_cache(cfg)
 
     out: dict[str, OutcomeStream] = {}
-    pending = [n for n in names]
+    pending: list[str] = []
+    for name in names:
+        key = (name, *cfg.cache_key())
+        stream = runner._streams.get(key)
+        if stream is None and disk is not None:
+            stream = disk.load(stream_key(name, cfg))
+            if stream is not None:
+                runner._streams[key] = stream
+        if stream is not None:
+            out[name] = stream
+        else:
+            pending.append(name)
+    if not pending:
+        return out
     if nworkers == 1 or len(pending) <= 1:
         for name in pending:
             out[name] = runner.stream(name, policy=policy)
@@ -107,4 +126,6 @@ def prewarm_streams(
             key = (name, *cfg.cache_key())
             runner._streams[key] = stream
             out[name] = stream
+            if disk is not None:
+                disk.save(stream_key(name, cfg), stream)
     return out

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import checking
 from repro.hierarchy.events import OutcomeStream
 from repro.hierarchy.inclusion import InclusionPolicy
 from repro.predictors.base import SchemeSpec
@@ -22,6 +23,7 @@ from repro.sim.config import SimConfig
 from repro.sim.content import ContentSimulator
 from repro.sim.evaluate import SchemeResult, evaluate_scheme
 from repro.sim.integrated import IntegratedSimulator, PrefetchConfig
+from repro.sim.streamcache import resolve_cache, stream_key
 from repro.util.validation import ConfigError
 from repro.workloads import get_workload
 from repro.workloads.trace import Workload
@@ -63,12 +65,24 @@ class ExperimentRunner:
     # -------------------------------------------------------------- content
     def stream(self, workload_name: "str | Workload",
                policy: InclusionPolicy | str | None = None) -> OutcomeStream:
+        """The (possibly cached) content stream for one workload.
+
+        Lookup order: in-process cache, then the persistent disk cache
+        (when enabled via ``SimConfig.stream_cache`` /
+        ``REPRO_STREAM_CACHE`` — loads are fingerprint-verified), then a
+        fresh content walk whose result is written back to both.
+        """
         workload_name = self._resolve(workload_name)
         cfg = self.config if policy is None else self.config.with_policy(policy)
         key = (workload_name, *cfg.cache_key())
         if key not in self._streams:
-            sim = ContentSimulator(cfg)
-            self._streams[key] = sim.run(self.workload(workload_name))
+            disk = resolve_cache(cfg)
+            stream = disk.load(stream_key(workload_name, cfg)) if disk else None
+            if stream is None:
+                stream = ContentSimulator(cfg).run(self.workload(workload_name))
+                if disk is not None:
+                    disk.save(stream_key(workload_name, cfg), stream)
+            self._streams[key] = stream
         return self._streams[key]
 
     # ------------------------------------------------------------ two-phase
@@ -98,6 +112,7 @@ class ExperimentRunner:
             memory_energy_nj=cfg.memory_energy_nj,
             mlp=cfg.mlp,
             dram=cfg.dram,
+            checked=checking.enabled(cfg),
         )
 
     def run_matrix(

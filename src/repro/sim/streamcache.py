@@ -1,0 +1,284 @@
+"""Persistent outcome-stream cache: memoize content walks to disk.
+
+The content walk is the wall-clock bulk of every figure regeneration, and
+its result — the frozen :class:`~repro.hierarchy.events.OutcomeStream` —
+is a pure function of ``(workload, machine, policy, refs, seed,
+replacement, coherent)``: exactly the identity :meth:`SimConfig.cache_key
+<repro.sim.config.SimConfig.cache_key>` already pins for the in-process
+runner cache.  This module extends that cache across processes: streams
+are stored as compressed ``.npz`` files under a cache directory (default
+``.repro-cache/``), keyed by ``(workload, *cache_key(), SCHEMA_VERSION)``,
+with the stream's :meth:`fingerprint()
+<repro.hierarchy.events.OutcomeStream.fingerprint>` embedded at save time
+and **re-verified on load** — a corrupt, truncated or tampered entry is
+discarded with a warning and the walk re-runs; a cached stream is never
+trusted on faith.
+
+Opt-in wiring (never on by default):
+
+``SimConfig(stream_cache="dir")``
+    per-config cache directory;
+``REPRO_STREAM_CACHE=dir``
+    environment-wide: ``1``/``true``/``yes``/``on`` selects the default
+    ``.repro-cache/``; any other non-empty value *is* the directory;
+    ``0``/``false``/``off``/``no``/empty disables.
+
+``repro cache {ls,clear,verify}`` inspects, empties and re-fingerprints
+the cache from the command line.  Bumping :data:`SCHEMA_VERSION` after any
+change to the stream layout or the content walk's semantics invalidates
+every existing entry (the version is part of the key, so old files simply
+stop being addressed; ``repro cache clear`` reclaims the space).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.hierarchy.events import OutcomeStream
+
+__all__ = [
+    "CACHE_ENV",
+    "DEFAULT_CACHE_DIR",
+    "SCHEMA_VERSION",
+    "CacheEntry",
+    "StreamCache",
+    "resolve_cache",
+    "stream_key",
+]
+
+#: Bump when the OutcomeStream layout or content-walk semantics change:
+#: the version is part of every key, so old entries become unreachable.
+SCHEMA_VERSION = 1
+
+#: Environment switch (see module docstring for the value grammar).
+CACHE_ENV = "REPRO_STREAM_CACHE"
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+_FALSY = frozenset({"", "0", "false", "off", "no"})
+
+#: Array fields persisted per stream, with the dtypes pinned for the
+#: fingerprint (same table as OutcomeStream.fingerprint).
+_ARRAY_FIELDS = (
+    ("core", "<u2"),
+    ("block", "<u8"),
+    ("write", "u1"),
+    ("gap", "<u4"),
+    ("hit_level", "i1"),
+    ("hit_rank", "i1"),
+    ("llc_when", "<i8"),
+    ("llc_op", "i1"),
+    ("llc_block", "<u8"),
+    ("final_llc_blocks", "<u8"),
+)
+
+
+def stream_key(workload_name: str, config) -> tuple:
+    """The disk-cache identity of one content trajectory."""
+    return (workload_name, *config.cache_key(), SCHEMA_VERSION)
+
+
+def resolve_cache(config=None) -> "StreamCache | None":
+    """The active cache for ``config``, or ``None`` when caching is off.
+
+    An explicit ``SimConfig.stream_cache`` wins; otherwise the
+    ``REPRO_STREAM_CACHE`` environment variable is consulted.
+    """
+    explicit = getattr(config, "stream_cache", None) if config is not None else None
+    if explicit:
+        return StreamCache(explicit)
+    env = os.environ.get(CACHE_ENV, "").strip()
+    if env.lower() in _FALSY:
+        return None
+    if env.lower() in _TRUTHY:
+        return StreamCache(DEFAULT_CACHE_DIR)
+    return StreamCache(env)
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One on-disk cache file, as reported by ``repro cache ls``."""
+
+    path: Path
+    key: tuple | None          # None when the metadata is unreadable
+    fingerprint: str | None
+    num_accesses: int | None
+    size_bytes: int
+
+    @property
+    def ok(self) -> bool:
+        return self.key is not None
+
+
+class StreamCache:
+    """Compressed, fingerprint-verified on-disk stream store."""
+
+    def __init__(self, directory: "str | Path") -> None:
+        self.directory = Path(directory)
+
+    # ------------------------------------------------------------- naming
+    def path_for(self, key: tuple) -> Path:
+        """Deterministic file path: human-readable prefix + key digest.
+
+        The digest alone identifies the entry (the prefix is for ``ls``
+        readability); collisions across different keys are caught at load
+        time because the full key is stored inside the file.
+        """
+        digest = hashlib.blake2b(
+            repr(key).encode(), digest_size=10
+        ).hexdigest()
+        human = "-".join(re.sub(r"[^A-Za-z0-9_.]+", "_", str(part)) for part in key)
+        return self.directory / f"{human[:80]}-{digest}.npz"
+
+    # --------------------------------------------------------------- save
+    def save(self, key: tuple, stream: OutcomeStream) -> Path:
+        """Persist ``stream`` under ``key`` (atomic: write + rename)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        meta = json.dumps(
+            {
+                "key": list(key),
+                "fingerprint": stream.fingerprint(),
+                "num_levels": stream.num_levels,
+                "schema_version": SCHEMA_VERSION,
+            }
+        )
+        arrays = {
+            name: np.ascontiguousarray(getattr(stream, name), dtype=dtype)
+            for name, dtype in _ARRAY_FIELDS
+        }
+        tmp = path.with_suffix(".tmp.npz")
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, meta=np.frombuffer(meta.encode(), dtype=np.uint8),
+                                **arrays)
+        os.replace(tmp, path)
+        return path
+
+    # --------------------------------------------------------------- load
+    def load(self, key: tuple) -> "OutcomeStream | None":
+        """Load and *verify* the entry for ``key``.
+
+        Returns ``None`` (after discarding the file with a warning) when
+        the entry is missing, unreadable, stored under a different key
+        (digest collision or tampering), or fails fingerprint
+        re-verification.  A returned stream is therefore bit-identical to
+        the walk that produced it.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            stream, meta = self._read(path)
+        except Exception as exc:  # corrupt zip, bad dtype, missing field…
+            self._discard(path, f"unreadable ({exc.__class__.__name__}: {exc})")
+            return None
+        if tuple(meta.get("key", ())) != key:
+            self._discard(path, "stored under a different key")
+            return None
+        if stream.fingerprint() != meta.get("fingerprint"):
+            self._discard(path, "fingerprint mismatch (stale or corrupt)")
+            return None
+        return stream
+
+    def _read(self, path: Path) -> tuple[OutcomeStream, dict]:
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["meta"]).decode())
+            arrays = {name: data[name] for name, _ in _ARRAY_FIELDS}
+        return (
+            OutcomeStream(
+                core=arrays["core"].astype(np.uint16),
+                block=arrays["block"].astype(np.uint64),
+                write=arrays["write"].astype(bool),
+                gap=arrays["gap"].astype(np.uint32),
+                hit_level=arrays["hit_level"].astype(np.int8),
+                hit_rank=arrays["hit_rank"].astype(np.int8),
+                llc_when=arrays["llc_when"].astype(np.int64),
+                llc_op=arrays["llc_op"].astype(np.int8),
+                llc_block=arrays["llc_block"].astype(np.uint64),
+                num_levels=int(meta["num_levels"]),
+                final_llc_blocks=arrays["final_llc_blocks"].astype(np.uint64),
+            ),
+            meta,
+        )
+
+    def _discard(self, path: Path, reason: str) -> None:
+        warnings.warn(
+            f"discarding stream-cache entry {path.name}: {reason}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # ---------------------------------------------------------- inventory
+    def entries(self) -> list[CacheEntry]:
+        """All cache files, with metadata where readable (for ``ls``)."""
+        out = []
+        if not self.directory.is_dir():
+            return out
+        for path in sorted(self.directory.glob("*.npz")):
+            size = path.stat().st_size
+            try:
+                with np.load(path) as data:
+                    meta = json.loads(bytes(data["meta"]).decode())
+                    n = int(len(data["block"]))
+                out.append(
+                    CacheEntry(
+                        path=path,
+                        key=tuple(meta.get("key", ())) or None,
+                        fingerprint=meta.get("fingerprint"),
+                        num_accesses=n,
+                        size_bytes=size,
+                    )
+                )
+            except Exception:
+                out.append(CacheEntry(path=path, key=None, fingerprint=None,
+                                      num_accesses=None, size_bytes=size))
+        return out
+
+    def verify(self) -> tuple[list[Path], list[Path]]:
+        """Re-fingerprint every entry; returns ``(ok, bad)`` path lists.
+
+        Bad entries (unreadable, or whose arrays no longer hash to the
+        stored fingerprint) are **not** deleted here — ``verify`` is a
+        read-only audit; ``load`` and ``clear`` do the discarding.
+        """
+        ok, bad = [], []
+        for entry in self.entries():
+            if entry.key is None:
+                bad.append(entry.path)
+                continue
+            try:
+                stream, meta = self._read(entry.path)
+            except Exception:
+                bad.append(entry.path)
+                continue
+            if stream.fingerprint() == meta.get("fingerprint"):
+                ok.append(entry.path)
+            else:
+                bad.append(entry.path)
+        return ok, bad
+
+    def clear(self) -> int:
+        """Delete every cache file; returns the number removed."""
+        removed = 0
+        if not self.directory.is_dir():
+            return removed
+        for path in self.directory.glob("*.npz"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,199 @@
+"""Vectorized ReDHiP replay: batch the per-L1-miss lookup loop with NumPy.
+
+:func:`repro.sim.evaluate.replay_predictor` replays the LLC event stream
+against a predictor one L1 miss at a time — a Python call per miss plus a
+Python call per LLC event.  For the plain :class:`ReDHiPController
+<repro.core.redhip.ReDHiPController>` that loop is batchable, because the
+controller's visible state changes in only two ways between recalibration
+sweeps:
+
+* **fills set bits** — and never clear them (the PT-monotonicity invariant
+  checked mode already enforces); evictions touch only the tag mirror;
+* **sweeps happen at deterministic miss counts** — the fixed-period engine
+  fires after every ``period``-th L1 miss, independent of the answers.
+
+So the replay decomposes into *epochs* (the spans between consecutive
+sweeps).  Within one epoch the prediction for the miss at access index
+``i`` hashing to table entry ``e`` is::
+
+    bits_at_epoch_start[e]  OR  first_fill_time[e] < i
+
+where ``first_fill_time[e]`` is the access index of the earliest LLC fill
+in the epoch that hashes to ``e`` — computed for all entries at once with
+``np.minimum.at`` (first-fill-sets-the-bit semantics).  The tag mirror
+advances per epoch with ``np.add.at``/``np.subtract.at``, and the sweep
+itself is the same ``counts > 0`` assignment the engine performs.
+
+The function mutates the controller to the exact end-of-run state the
+sequential loop would leave (table bits, mirror counts, telemetry
+counters, sweep/stall totals), so ``predictor.stats()`` and every derived
+:class:`SchemeResult` field are bit-identical.  Stateful predictors — CBF
+(per-eviction decrements), MissMap, gated wrappers, the adaptive
+(churn-triggered) engine — are not epoch-batchable and stay on the
+sequential path; :func:`eligible` is the gate.
+
+``REPRO_NO_VECTOR_REPLAY=1`` forces the sequential path everywhere, and
+checked mode runs both paths and asserts equivalence (see
+:func:`repro.sim.evaluate.evaluate_scheme`).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.core.recalibration import RecalibrationEngine
+from repro.core.redhip import ReDHiPController
+from repro.hierarchy.events import EVENT_FILL, OutcomeStream
+from repro.predictors.hashes import bits_hash_array, xor_hash_array
+from repro.util.validation import ConfigError
+
+__all__ = ["NO_VECTOR_ENV", "eligible", "replay_redhip_vectorized",
+           "vector_replay_disabled"]
+
+#: Escape hatch: force the sequential replay path everywhere.
+NO_VECTOR_ENV = "REPRO_NO_VECTOR_REPLAY"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+#: Sentinel "no fill yet" event time (later than any access index).
+_NEVER = np.iinfo(np.int64).max
+
+
+def vector_replay_disabled() -> bool:
+    """Has the environment vetoed the vectorized path?"""
+    return os.environ.get(NO_VECTOR_ENV, "").strip().lower() in _TRUTHY
+
+
+def eligible(predictor) -> bool:
+    """Can ``predictor`` be replayed with the epoch-batched kernel?
+
+    Exactly the plain ReDHiP controller with the fixed-period engine:
+    subclasses and wrappers (gating, checked-mode delegation, the adaptive
+    churn-triggered engine) may observe per-event state and must replay
+    sequentially.  ``type(...) is`` — not ``isinstance`` — on purpose.
+    """
+    return (
+        type(predictor) is ReDHiPController
+        and type(predictor.engine) is RecalibrationEngine
+        and predictor.hash_kind in ("bits", "xor")
+    )
+
+
+def _index_array(controller: ReDHiPController, blocks: np.ndarray) -> np.ndarray:
+    """Vectorized counterpart of ``controller._index``."""
+    if controller.hash_kind == "bits":
+        idx = bits_hash_array(blocks, controller.table.p)
+    else:
+        idx = xor_hash_array(blocks, controller.table.p)
+    return idx.astype(np.intp)
+
+
+def replay_redhip_vectorized(
+    stream: OutcomeStream, predictor: ReDHiPController
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Epoch-batched equivalent of :func:`repro.sim.evaluate.replay_predictor`.
+
+    Same contract: returns ``(predicted, consulted, stall)`` over all
+    accesses, and leaves ``predictor`` in the end-of-run state (final
+    table bits, mirror counts, lookup/sweep telemetry) the sequential
+    replay would produce.  Event ordering matches hardware: events caused
+    by access *i* are applied after access *i*'s lookup.
+    """
+    if not eligible(predictor):
+        raise ConfigError(
+            f"predictor {predictor.name!r} is not epoch-batchable; "
+            "use the sequential replay_predictor"
+        )
+
+    h = stream.hit_level
+    n = len(h)
+    predicted = np.ones(n, dtype=bool)
+    consulted = np.zeros(n, dtype=bool)
+    miss_mask = h != 1
+    miss_at = np.nonzero(miss_mask)[0]           # access index per L1 miss
+    n_miss = len(miss_at)
+    miss_entry = _index_array(predictor, stream.block[miss_mask])
+
+    when = stream.llc_when
+    ev_fill = stream.llc_op == EVENT_FILL
+    ev_entry = _index_array(predictor, stream.llc_block)
+    n_events = len(when)
+
+    engine = predictor.engine
+    period = engine.period
+    start_misses = engine.l1_misses
+    bits = predictor.table._bits
+    counts = predictor.mirror._counts
+
+    out = np.empty(n_miss, dtype=bool)
+    first_fill = None                            # lazily allocated
+    sweeps = 0
+    ev_lo = 0
+    pos = 0
+    while pos < n_miss:
+        if period is None:
+            pos_end, sweep_here = n_miss, False
+        else:
+            boundary = pos + period - (start_misses + pos) % period
+            pos_end = min(n_miss, boundary)
+            sweep_here = pos_end == boundary
+        # Events the sequential loop applies during this epoch: everything
+        # not yet applied with `when` before the epoch's last lookup.
+        # Events at/after it land post-sweep, in the next epoch.
+        ev_hi = int(np.searchsorted(when, miss_at[pos_end - 1], side="left"))
+        seg_fill = ev_fill[ev_lo:ev_hi]
+        fill_entry = ev_entry[ev_lo:ev_hi][seg_fill]
+        fill_when = when[ev_lo:ev_hi][seg_fill]
+        evict_entry = ev_entry[ev_lo:ev_hi][~seg_fill]
+
+        entries = miss_entry[pos:pos_end]
+        if len(fill_entry):
+            if first_fill is None:
+                first_fill = np.full(predictor.table.num_bits, _NEVER,
+                                     dtype=np.int64)
+            np.minimum.at(first_fill, fill_entry, fill_when)
+            out[pos:pos_end] = bits[entries] | (first_fill[entries] < miss_at[pos:pos_end])
+            first_fill[fill_entry] = _NEVER      # reset only touched slots
+        else:
+            out[pos:pos_end] = bits[entries]
+
+        np.add.at(counts, fill_entry, 1)
+        np.subtract.at(counts, evict_entry, 1)
+        if len(evict_entry) and counts[evict_entry].min() < 0:
+            raise ConfigError("LLC evicted a block the controller never saw filled")
+        if sweep_here:
+            np.greater(counts, 0, out=bits)
+            sweeps += 1
+        else:
+            bits[fill_entry] = True
+        ev_lo = ev_hi
+        pos = pos_end
+
+    # Drain the event tail so telemetry covers the full run (matches the
+    # sequential loop's trailing drain).
+    tail_fills = 0
+    if ev_lo < n_events:
+        seg_fill = ev_fill[ev_lo:]
+        fill_entry = ev_entry[ev_lo:][seg_fill]
+        evict_entry = ev_entry[ev_lo:][~seg_fill]
+        np.add.at(counts, fill_entry, 1)
+        np.subtract.at(counts, evict_entry, 1)
+        if len(evict_entry) and counts[evict_entry].min() < 0:
+            raise ConfigError("LLC evicted a block the controller never saw filled")
+        bits[fill_entry] = True
+        tail_fills = int(seg_fill.sum())
+
+    # Advance the controller's telemetry to the sequential end state.
+    total_fills = int(ev_fill[:ev_lo].sum()) + tail_fills
+    predictor.lookups += n_miss
+    predictor.predicted_miss += int(n_miss - out.sum())
+    predictor.table_updates += total_fills
+    engine.l1_misses = start_misses + n_miss
+    engine.sweeps += sweeps
+    stall = float(sweeps * engine.cost.cycles)
+
+    predicted[miss_mask] = out
+    consulted[miss_mask] = True                  # plain ReDHiP always consults
+    return predicted, consulted, stall

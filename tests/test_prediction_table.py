@@ -95,6 +95,31 @@ def test_line_words_packing():
     assert words[1] == 2
 
 
+@pytest.mark.parametrize("size_bytes", [1, 2, 4])
+def test_line_words_sub_word_tables(size_bytes):
+    """Regression: sub-64-bit tables (legal sweep lower bounds) used to
+    raise from ``.view("<u8")`` on a buffer shorter than 8 bytes."""
+    pt = PredictionTable(size_bytes, llc_set_bits=6)
+    assert pt.num_bits == size_bytes * 8 < 64
+    words = pt.line_words()
+    assert len(words) == 1 and words[0] == 0
+    for bit in range(pt.num_bits):
+        pt.set_bit(bit)
+    words = pt.line_words()
+    # Real bits all set; the zero padding beyond num_bits stays clear.
+    assert int(words[0]) == (1 << pt.num_bits) - 1
+
+
+def test_line_words_unchanged_for_word_multiple_tables():
+    pt = PredictionTable(512, llc_set_bits=6)
+    rng = np.random.default_rng(5)
+    for b in rng.integers(0, 1 << 20, size=200):
+        pt.set_bit(int(b))
+    words = pt.line_words()
+    unpacked = np.unpackbits(words.view(np.uint8), bitorder="little")[: pt.num_bits]
+    np.testing.assert_array_equal(unpacked.astype(bool), pt._bits)
+
+
 def test_set_line_correspondence():
     """Figure 4: all blocks of one LLC set land in the same group of
     slots_per_set consecutive slot positions (index = slot*2^k + set)."""

@@ -1,0 +1,220 @@
+"""Persistent stream cache: round-trip, verification, rejection, wiring.
+
+The contract under test (see :mod:`repro.sim.streamcache`): a loaded
+stream is bit-identical to the walk that produced it — anything else
+(corrupt zip, tampered arrays, wrong key, stale schema) is discarded with
+a warning and the walk re-runs.  Plus the prewarm regression: a warm
+prewarm must not spawn a pool or re-walk anything.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.content import ContentSimulator
+from repro.sim.parallel import prewarm_streams
+from repro.sim.runner import ExperimentRunner
+from repro.sim.streamcache import (
+    CACHE_ENV,
+    StreamCache,
+    resolve_cache,
+    stream_key,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::RuntimeWarning")
+
+
+@pytest.fixture
+def cached_config(tiny_machine, tmp_path):
+    return SimConfig(machine=tiny_machine, refs_per_core=2000, seed=7,
+                     stream_cache=str(tmp_path / "cache"))
+
+
+def _walk(config, name="mcf"):
+    return ExperimentRunner(config).stream(name)
+
+
+def _no_walk(monkeypatch):
+    """Make any content walk an immediate failure."""
+    def boom(self, workload, max_accesses=None):
+        raise AssertionError("content walk ran on a warm cache")
+    monkeypatch.setattr(ContentSimulator, "run", boom)
+
+
+# ------------------------------------------------------------- round trip
+def test_save_load_round_trip(cached_config):
+    stream = _walk(cached_config)
+    cache = resolve_cache(cached_config)
+    key = stream_key("mcf", cached_config)
+    assert cache.path_for(key).exists()  # runner saved it
+    loaded = cache.load(key)
+    assert loaded is not None
+    assert loaded.fingerprint() == stream.fingerprint()
+    assert loaded.num_levels == stream.num_levels
+    np.testing.assert_array_equal(loaded.block, stream.block)
+    np.testing.assert_array_equal(loaded.hit_level, stream.hit_level)
+    np.testing.assert_array_equal(loaded.llc_when, stream.llc_when)
+
+
+def test_warm_runner_skips_walk(cached_config, monkeypatch):
+    _walk(cached_config)
+    _no_walk(monkeypatch)
+    loaded = ExperimentRunner(cached_config).stream("mcf")
+    assert loaded.num_accesses == cached_config.total_refs
+
+
+def test_missing_entry_returns_none(cached_config):
+    cache = StreamCache(cached_config.stream_cache)
+    assert cache.load(stream_key("never-walked", cached_config)) is None
+
+
+# ------------------------------------------------------------- rejection
+def test_corrupt_entry_discarded_with_warning(cached_config):
+    stream = _walk(cached_config)
+    cache = resolve_cache(cached_config)
+    key = stream_key("mcf", cached_config)
+    path = cache.path_for(key)
+    path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])  # truncate
+    with pytest.warns(RuntimeWarning, match="discarding stream-cache entry"):
+        assert cache.load(key) is None
+    assert not path.exists()  # never trusted again
+    # The runner transparently re-walks and re-caches.
+    again = ExperimentRunner(cached_config).stream("mcf")
+    assert again.fingerprint() == stream.fingerprint()
+    assert path.exists()
+
+
+def test_tampered_arrays_fail_fingerprint(cached_config):
+    """A stale/tampered entry whose zip is valid still fails verification."""
+    _walk(cached_config)
+    cache = resolve_cache(cached_config)
+    key = stream_key("mcf", cached_config)
+    path = cache.path_for(key)
+    with np.load(path) as data:
+        arrays = {name: data[name] for name in data.files}
+    arrays["hit_level"] = arrays["hit_level"].copy()
+    arrays["hit_level"][0] ^= 1  # flip one outcome
+    with open(path, "wb") as fh:
+        np.savez_compressed(fh, **arrays)
+    with pytest.warns(RuntimeWarning, match="fingerprint mismatch"):
+        assert cache.load(key) is None
+    assert not path.exists()
+
+
+def test_wrong_key_inside_file_rejected(cached_config):
+    _walk(cached_config)
+    cache = resolve_cache(cached_config)
+    key = stream_key("mcf", cached_config)
+    path = cache.path_for(key)
+    with np.load(path) as data:
+        arrays = {name: data[name] for name in data.files}
+    meta = json.loads(bytes(arrays["meta"]).decode())
+    meta["key"][0] = "other-workload"
+    arrays["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    with open(path, "wb") as fh:
+        np.savez_compressed(fh, **arrays)
+    with pytest.warns(RuntimeWarning, match="different key"):
+        assert cache.load(key) is None
+
+
+def test_verify_flags_bad_entries_without_deleting(cached_config):
+    _walk(cached_config)
+    cache = resolve_cache(cached_config)
+    ok, bad = cache.verify()
+    assert len(ok) == 1 and not bad
+    junk = cache.directory / "junk.npz"
+    junk.write_bytes(b"not a zip at all")
+    ok, bad = cache.verify()
+    assert len(ok) == 1 and bad == [junk]
+    assert junk.exists()  # verify is read-only
+    assert cache.clear() == 2
+    assert cache.entries() == []
+
+
+# ----------------------------------------------------------------- wiring
+def test_env_var_enables_cache(tiny_machine, tmp_path, monkeypatch):
+    monkeypatch.setenv(CACHE_ENV, str(tmp_path / "envcache"))
+    cfg = SimConfig(machine=tiny_machine, refs_per_core=2000, seed=7)
+    assert resolve_cache(cfg).directory == Path(tmp_path / "envcache")
+    ExperimentRunner(cfg).stream("mcf")
+    assert list((tmp_path / "envcache").glob("*.npz"))
+    _no_walk(monkeypatch)
+    ExperimentRunner(cfg).stream("mcf")  # warm from the env-named cache
+
+
+@pytest.mark.parametrize("value", ["", "0", "false", "off"])
+def test_env_var_falsy_disables(value, monkeypatch):
+    monkeypatch.setenv(CACHE_ENV, value)
+    assert resolve_cache(None) is None
+
+
+def test_env_var_truthy_selects_default_dir(monkeypatch):
+    monkeypatch.setenv(CACHE_ENV, "1")
+    assert resolve_cache(None).directory == Path(".repro-cache")
+
+
+def test_different_config_different_entry(cached_config):
+    _walk(cached_config)
+    cache = resolve_cache(cached_config)
+    other = SimConfig(
+        machine=cached_config.machine,
+        refs_per_core=cached_config.refs_per_core,
+        seed=99,
+        stream_cache=cached_config.stream_cache,
+    )
+    assert cache.load(stream_key("mcf", other)) is None  # seed is in the key
+
+
+# ---------------------------------------------------------------- prewarm
+def test_warm_prewarm_spawns_no_pool(cached_config, monkeypatch):
+    """Regression: prewarm used to re-walk workloads already in the cache."""
+    runner = ExperimentRunner(cached_config)
+    names = ["mcf", "bwaves"]
+    first = prewarm_streams(runner, names, workers=1)
+    assert set(first) == set(names)
+
+    def no_pool(*args, **kwargs):
+        raise AssertionError("warm prewarm spawned a process pool")
+
+    monkeypatch.setattr("repro.sim.parallel.ProcessPoolExecutor", no_pool)
+    _no_walk(monkeypatch)
+    second = prewarm_streams(runner, names, workers=4)
+    assert {n: s.fingerprint() for n, s in second.items()} == \
+        {n: s.fingerprint() for n, s in first.items()}
+
+
+def test_prewarm_loads_from_disk_into_fresh_runner(cached_config, monkeypatch):
+    prewarm_streams(ExperimentRunner(cached_config), ["mcf", "bwaves"], workers=1)
+    fresh = ExperimentRunner(cached_config)
+    monkeypatch.setattr(
+        "repro.sim.parallel.ProcessPoolExecutor",
+        lambda *a, **k: (_ for _ in ()).throw(AssertionError("pool spawned")),
+    )
+    _no_walk(monkeypatch)
+    out = prewarm_streams(fresh, ["mcf", "bwaves"], workers=4)
+    assert set(out) == {"mcf", "bwaves"}
+    assert len(fresh._streams) == 2
+
+
+# -------------------------------------------------------------------- CLI
+def test_cache_cli_ls_verify_clear(cached_config, capsys):
+    from repro.cli import main
+
+    _walk(cached_config)
+    cache_dir = str(cached_config.stream_cache)
+    assert main(["cache", "ls", "--dir", cache_dir]) == 0
+    assert "1 entries" in capsys.readouterr().out
+    assert main(["cache", "verify", "--dir", cache_dir]) == 0
+    assert "1 ok, 0 corrupt" in capsys.readouterr().out
+    (Path(cache_dir) / "junk.npz").write_bytes(b"garbage")
+    assert main(["cache", "verify", "--dir", cache_dir]) == 1
+    assert "1 corrupt" in capsys.readouterr().out
+    assert main(["cache", "clear", "--dir", cache_dir]) == 0
+    assert "removed 2" in capsys.readouterr().out
+    assert main(["cache", "ls", "--dir", cache_dir]) == 0
+    assert "empty" in capsys.readouterr().out

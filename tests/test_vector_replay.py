@@ -1,0 +1,178 @@
+"""Vectorized ReDHiP replay: equivalence, eligibility, escape hatches.
+
+The kernel's contract (see :mod:`repro.sim.vector_replay`): for every
+stream and every fixed-period plain-ReDHiP configuration, the epoch-batched
+replay is *bit-identical* to the sequential loop — same per-access
+predictions, same stall cycles, same final table/mirror state, same
+telemetry — and therefore every derived :class:`SchemeResult` field
+matches.  Stateful predictors (CBF, MissMap, gated, adaptive engine) must
+be declared ineligible and keep the sequential path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gating import gated_redhip_scheme
+from repro.core.redhip import ReDHiPController, redhip_scheme
+from repro.predictors.cbf_scheme import cbf_scheme
+from repro.predictors.missmap import missmap_scheme
+from repro.sim import vector_replay
+from repro.sim.config import SimConfig
+from repro.sim.evaluate import evaluate_scheme, replay_predictor
+from repro.sim.runner import ExperimentRunner
+from repro.util.validation import ReproError
+
+SEEDS = (1, 2, 3)
+
+
+def scheme_lineup(period):
+    """Every shipped predictor scheme (ISSUE: 3 seeds x all of them)."""
+    return [
+        redhip_scheme(recal_period=period),
+        redhip_scheme(recal_period=period, hash_kind="xor", name="ReDHiP-xor"),
+        redhip_scheme(recal_period=None, name="ReDHiP-norecal"),
+        redhip_scheme(recal_period=period, recal_threshold=0.5,
+                      name="ReDHiP-adaptive"),
+        cbf_scheme(),
+        gated_redhip_scheme(recal_period=period, window=256),
+        missmap_scheme(),
+    ]
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def seeded(request):
+    from repro.energy.params import get_machine
+
+    machine = get_machine("tiny")
+    cfg = SimConfig(machine=machine, refs_per_core=2500, seed=request.param)
+    runner = ExperimentRunner(cfg)
+    return cfg, runner, runner.stream("mcf")
+
+
+def _result_facts(res):
+    """Everything a figure could read off a SchemeResult."""
+    return (
+        res.timing.exec_cycles,
+        res.ledger.total_nj,
+        dict(res.ledger.counts),
+        dict(res.ledger.energy_nj),
+        res.static_nj,
+        res.hit_rates,
+        res.level_lookups,
+        res.level_hits,
+        res.skips,
+        res.false_positives,
+        res.true_misses,
+        res.recal_stall_cycles,
+        res.predictor_stats,
+    )
+
+
+# ----------------------------------------------------------- equivalence
+@pytest.mark.parametrize("scheme_idx", range(7))
+@pytest.mark.parametrize("checked", [False, True])
+def test_vectorized_equals_sequential_scheme_results(seeded, scheme_idx, checked,
+                                                     monkeypatch):
+    """Bit-identical SchemeResults, checked and unchecked, all schemes."""
+    cfg, runner, stream = seeded
+    scheme = scheme_lineup(cfg.recal_period)[scheme_idx]
+    wl = runner.workload("mcf")
+    fast = evaluate_scheme(stream, cfg.machine, scheme, wl, checked=checked)
+    monkeypatch.setenv(vector_replay.NO_VECTOR_ENV, "1")
+    slow = evaluate_scheme(stream, cfg.machine, scheme, wl, checked=False)
+    assert _result_facts(fast) == _result_facts(slow)
+
+
+def test_direct_replay_equivalence_with_sweeps(seeded):
+    """Low-level contract: predictions, stall and final predictor state."""
+    cfg, _, stream = seeded
+    for period in (1, 7, 300, None):
+        seq = ReDHiPController(cfg.machine, recal_period=period)
+        vec = ReDHiPController(cfg.machine, recal_period=period)
+        p1, c1, s1 = replay_predictor(stream, seq)
+        p2, c2, s2 = vector_replay.replay_redhip_vectorized(stream, vec)
+        np.testing.assert_array_equal(p1, p2)
+        np.testing.assert_array_equal(c1, c2)
+        assert s1 == s2
+        np.testing.assert_array_equal(seq.table._bits, vec.table._bits)
+        np.testing.assert_array_equal(seq.mirror._counts, vec.mirror._counts)
+        assert seq.stats() == vec.stats()
+        assert seq.table_updates == vec.table_updates
+        if period is not None:
+            assert vec.engine.sweeps > 0  # the loop actually crossed epochs
+
+
+# ------------------------------------------------------------ eligibility
+def test_eligibility_gate(tiny_machine):
+    eligible = vector_replay.eligible
+    assert eligible(ReDHiPController(tiny_machine, recal_period=64))
+    assert eligible(ReDHiPController(tiny_machine, recal_period=None))
+    assert eligible(ReDHiPController(tiny_machine, hash_kind="xor"))
+    # Adaptive engine observes per-event churn: not batchable.
+    assert not eligible(ReDHiPController(tiny_machine, recal_threshold=0.5))
+    # Stateful / wrapped predictors: not batchable.
+    for spec in (cbf_scheme(), gated_redhip_scheme(), missmap_scheme()):
+        assert not eligible(spec.build_predictor(tiny_machine))
+
+
+def test_ineligible_predictor_rejected(seeded, tiny_machine):
+    _, _, stream = seeded
+    predictor = cbf_scheme().build_predictor(tiny_machine)
+    with pytest.raises(ReproError, match="not epoch-batchable"):
+        vector_replay.replay_redhip_vectorized(stream, predictor)
+
+
+# ---------------------------------------------------------- escape hatch
+def test_no_vector_env_forces_sequential(seeded, monkeypatch):
+    cfg, runner, stream = seeded
+    monkeypatch.setenv(vector_replay.NO_VECTOR_ENV, "1")
+
+    def boom(*args, **kwargs):
+        raise AssertionError("vector kernel ran despite REPRO_NO_VECTOR_REPLAY")
+
+    monkeypatch.setattr(vector_replay, "replay_redhip_vectorized", boom)
+    res = evaluate_scheme(
+        stream, cfg.machine, redhip_scheme(recal_period=cfg.recal_period),
+        runner.workload("mcf"),
+    )
+    assert res.l1_misses > 0
+
+
+def test_checked_mode_catches_divergent_kernel(seeded, monkeypatch):
+    """Mutation test: a wrong vectorized answer must trip the checked-mode
+    equivalence assertion, not silently change results."""
+    cfg, runner, stream = seeded
+    real = vector_replay.replay_redhip_vectorized
+
+    def poisoned(stream_, predictor_):
+        predicted, consulted, stall = real(stream_, predictor_)
+        skips = np.nonzero(~predicted & (stream_.hit_level != 1))[0]
+        assert len(skips), "stream produced no skips to poison"
+        predicted = predicted.copy()
+        predicted[skips[0]] = True  # stays conservative: no false negative
+        return predicted, consulted, stall
+
+    monkeypatch.setattr(vector_replay, "replay_redhip_vectorized", poisoned)
+    with pytest.raises(ReproError, match="vectorized replay diverged"):
+        evaluate_scheme(
+            stream, cfg.machine, redhip_scheme(recal_period=cfg.recal_period),
+            runner.workload("mcf"), checked=True,
+        )
+
+
+def test_runner_two_phase_uses_vector_path(seeded, monkeypatch):
+    """The runner's fast path actually dispatches to the kernel."""
+    cfg, _, _ = seeded
+    runner = ExperimentRunner(cfg)
+    calls = []
+    real = vector_replay.replay_redhip_vectorized
+
+    def spy(stream_, predictor_):
+        calls.append(predictor_.name)
+        return real(stream_, predictor_)
+
+    monkeypatch.setattr(vector_replay, "replay_redhip_vectorized", spy)
+    runner.run("mcf", redhip_scheme(recal_period=cfg.recal_period))
+    assert calls == ["ReDHiP"]
