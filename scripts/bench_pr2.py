@@ -12,8 +12,10 @@ It also times the ReDHiP replay kernel head-to-head (vectorized vs
 sequential, identical predictor configuration) on the largest workload's
 stream, since the replay is the warm path's remaining hot loop.
 
-Writes throughput numbers to ``BENCH_pr2.json`` (repo root by default) so
-CI accumulates a perf history.  Usage::
+Writes throughput numbers — plus per-stage span timings from the
+telemetry layer (``fig6_cold_stages`` / ``fig6_warm_stages``) — to
+``BENCH_pr2.json`` (repo root by default) so CI accumulates a perf
+history.  Usage::
 
     PYTHONPATH=src python scripts/bench_pr2.py [--refs N] [--machine M] \
         [--out BENCH_pr2.json]
@@ -50,6 +52,15 @@ def main() -> int:
     from repro.sim.runner import ExperimentRunner
     from repro.sim.vector_replay import replay_redhip_vectorized
 
+    from repro import telemetry
+
+    def stage_seconds(sess):
+        """{span name: rounded total seconds} for one telemetry session."""
+        return {
+            name: round(agg["total_s"], 4)
+            for name, agg in sorted(sess.stage_totals().items())
+        }
+
     machine = get_machine(args.machine)
     walks = []
     real_run = ContentSimulator.run
@@ -65,14 +76,18 @@ def main() -> int:
                             seed=args.seed, stream_cache=cache_dir)
 
             t0 = time.perf_counter()
-            run_experiment("fig6", cfg)
+            with telemetry.session(force=True, label="bench-cold") as cold_sess:
+                run_experiment("fig6", cfg)
+                cold_stages = stage_seconds(cold_sess)
             cold_s = time.perf_counter() - t0
             cold_walks = len(walks)
 
             clear_cache()  # drop the in-process runner memo; disk stays
             walks.clear()
             t0 = time.perf_counter()
-            run_experiment("fig6", cfg)
+            with telemetry.session(force=True, label="bench-warm") as warm_sess:
+                run_experiment("fig6", cfg)
+                warm_stages = stage_seconds(warm_sess)
             warm_s = time.perf_counter() - t0
             warm_walks = len(walks)
             clear_cache()
@@ -113,6 +128,8 @@ def main() -> int:
             int((stream.hit_level != 1).sum()) / replay_vec_s
         ) if replay_vec_s else None,
         "accesses_per_workload": accesses,
+        "fig6_cold_stages": cold_stages,
+        "fig6_warm_stages": warm_stages,
     }
     args.out.write_text(json.dumps(result, indent=2) + "\n")
     print(json.dumps(result, indent=2))

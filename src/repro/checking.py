@@ -47,6 +47,7 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.hierarchy.inclusion import InclusionPolicy
 from repro.util.validation import ReproError
 
@@ -238,6 +239,11 @@ class CheckContext:
 
     def fail(self, invariant: str, detail: str, ref_index: "int | None" = None) -> None:
         """Write a replay bundle and raise :class:`InvariantViolation`."""
+        telemetry.count("invariants.violations", invariant=invariant)
+        telemetry.event(
+            "invariant_violation", invariant=invariant,
+            workload=self.workload, detail=detail,
+        )
         bundle = ReplayBundle(
             invariant=invariant,
             detail=detail,
@@ -303,6 +309,7 @@ class HierarchyChecker:
         self._full_sweep(ref_index)
 
     def _full_sweep(self, ref_index: int) -> None:
+        telemetry.count("invariants.inclusion_sweeps")
         problems = self.hier.check_inclusion()
         if problems:
             head = "; ".join(problems[:4])
@@ -411,6 +418,7 @@ class CheckedPredictor:
 # -------------------------------------------------------------- accounting
 def check_result(result, ctx: CheckContext) -> None:
     """End-of-run conservation checks on a :class:`SchemeResult`."""
+    telemetry.count("invariants.result_checks")
     problems = result.ledger.validate()
     for level, hits in result.level_hits.items():
         lookups = result.level_lookups.get(level, 0)

@@ -21,6 +21,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro import telemetry
 from repro.energy.params import MACHINES, get_machine
 from repro.experiments import clear_cache, experiment_ids, run_experiment
 from repro.hierarchy.inclusion import InclusionPolicy
@@ -55,6 +56,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="directory to write <id>.md result files")
         p.add_argument("--chart", action="store_true",
                        help="render the average row as a bar chart")
+        p.add_argument("--telemetry", "-v", action="store_true",
+                       help="collect spans/metrics and write run_manifest.json "
+                            "(see `repro stats` / `repro trace`; "
+                            "REPRO_TELEMETRY=1 does the same)")
 
     run = sub.add_parser("run", help="regenerate one artifact")
     run.add_argument("experiment", help="artifact id (see `repro list`)")
@@ -111,6 +116,25 @@ def build_parser() -> argparse.ArgumentParser:
     ca.add_argument("--dir", type=Path, default=None,
                     help="cache directory (default: $REPRO_STREAM_CACHE, "
                          "else .repro-cache)")
+
+    st = sub.add_parser(
+        "stats",
+        help="human-readable summary of a run manifest "
+             "(per-stage wall times, cache/replay/invariant counters)",
+    )
+    st.add_argument("manifest", nargs="?", type=Path,
+                    default=Path(telemetry.MANIFEST_NAME),
+                    help=f"manifest path (default: ./{telemetry.MANIFEST_NAME})")
+
+    tr = sub.add_parser(
+        "trace",
+        help="export a run's spans as Chrome/Perfetto trace_event JSON",
+    )
+    tr.add_argument("run", type=Path,
+                    help="run manifest (run_manifest.json) to export")
+    tr.add_argument("-o", "--out", type=Path, default=Path("trace.json"),
+                    help="output file (default: trace.json); load it at "
+                         "ui.perfetto.dev or chrome://tracing")
     return parser
 
 
@@ -119,6 +143,7 @@ def _config(args) -> SimConfig:
         machine=get_machine(args.machine),
         refs_per_core=args.refs,
         seed=args.seed,
+        telemetry=getattr(args, "telemetry", False),
     )
 
 
@@ -262,6 +287,108 @@ def _cache(args) -> int:
     return 1 if bad else 0
 
 
+def _write_manifest(sess, cfg: SimConfig, experiments: list, out: Path | None) -> None:
+    """Write ``run_manifest.json`` next to the run's artifacts."""
+    if sess is None:
+        return
+    path = telemetry.write_manifest(
+        out if out is not None else Path("."), sess,
+        config=cfg, experiments=experiments,
+    )
+    print(f"wrote {path}", file=sys.stderr)
+
+
+def _load_manifest(path: Path) -> dict:
+    try:
+        return telemetry.load_manifest(path)
+    except FileNotFoundError:
+        raise ReproError(
+            f"no run manifest at {path}; produce one with "
+            f"`repro run <id> --telemetry`"
+        ) from None
+    except ValueError as exc:
+        raise ReproError(str(exc)) from None
+
+
+def _stats(args) -> int:
+    """``repro stats``: the human-readable view of one run manifest."""
+    m = _load_manifest(args.manifest)
+    cfg = m["config"]
+    versions = m["versions"]
+    git = m["git"]
+    wall = m["wall_s"]
+
+    print(f"== run manifest: {m['label']} "
+          f"(schema v{m['schema_version']}) ==")
+    if cfg:
+        print(f"config: machine {cfg['machine']}, {cfg['policy']}, "
+              f"{cfg['refs_per_core']} refs/core, seed {cfg['seed']}, "
+              f"replacement {cfg['replacement']}"
+              + (", checked" if cfg.get("checked") else ""))
+    print(f"versions: repro {versions.get('repro')}, "
+          f"python {versions.get('python')}, numpy {versions.get('numpy')}"
+          + (f"; git {git['commit'][:12]}"
+             + (" (dirty)" if git.get("dirty") else "") if git else ""))
+    if m["experiments"]:
+        print(f"experiments: {', '.join(m['experiments'])}")
+    print(f"wall time: {wall:.3f} s")
+    print()
+
+    stages = m["stages"]
+    if stages:
+        name_w = max(len("stage"), max(len(n) for n in stages))
+        print(f"{'stage'.ljust(name_w)}  {'count':>6}  {'total s':>9}  "
+              f"{'self s':>9}  {'% wall':>7}")
+        print("-" * (name_w + 38))
+        for name, agg in sorted(
+            stages.items(), key=lambda kv: -kv[1]["total_s"]
+        ):
+            pct = agg["total_s"] / wall if wall else 0.0
+            print(f"{name.ljust(name_w)}  {agg['count']:>6}  "
+                  f"{agg['total_s']:>9.3f}  {agg.get('self_s', 0.0):>9.3f}  "
+                  f"{pct:>7.1%}")
+        top_level = sum(
+            s["duration_s"] for s in m["spans"] if s["depth"] == 0
+        )
+        print(f"top-level spans cover {top_level / wall:.1%} of wall time"
+              if wall else "")
+    else:
+        print("no spans recorded")
+    print()
+
+    s = m["summary"]
+    cache, replay = s["cache"], s["replay"]
+    content, inv = s["content"], s["invariants"]
+    print(f"stream cache: {cache['hits']:.0f} hits, {cache['misses']:.0f} misses, "
+          f"{cache['rejects']:.0f} rejects, {cache['saves']:.0f} saves "
+          f"({cache['memo_hits']:.0f} in-process memo hits)")
+    print(f"replay paths: {replay['vector']:.0f} vector, "
+          f"{replay['sequential']:.0f} sequential "
+          f"({replay['epochs']:.0f} epochs, {replay['sweeps']:.0f} sweeps)")
+    print(f"content: {content['walks']:.0f} walks, "
+          f"{content['accesses']:.0f} accesses")
+    print(f"invariants: {inv['violations']:.0f} violations, "
+          f"{inv['inclusion_sweeps']:.0f} inclusion sweeps, "
+          f"{inv['result_checks']:.0f} result checks")
+    if m["events"]:
+        print(f"events: {len(m['events'])} "
+              f"(first: {m['events'][0].get('name')})")
+    return 0
+
+
+def _trace(args) -> int:
+    """``repro trace``: manifest spans -> Chrome/Perfetto trace_event."""
+    import json
+
+    m = _load_manifest(args.run)
+    doc = telemetry.chrome_trace(m["spans"], label=m.get("label", "repro"))
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(doc) + "\n")
+    print(f"wrote {args.out} ({len(m['spans'])} spans; open at "
+          f"ui.perfetto.dev or chrome://tracing)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -276,15 +403,21 @@ def main(argv: list[str] | None = None) -> int:
                       f"PT {m.prediction_table.size >> 10}KB "
                       f"({m.pt_overhead_ratio:.2%}, p-k={m.p_minus_k})")
         elif args.command == "run":
-            result = run_experiment(args.experiment, _config(args), **_run_kwargs(args))
-            _emit(result, args.out, chart=args.chart)
-            clear_cache()
+            cfg = _config(args)
+            with telemetry.session(cfg, label=f"run-{args.experiment}") as sess:
+                result = run_experiment(args.experiment, cfg, **_run_kwargs(args))
+                _emit(result, args.out, chart=args.chart)
+                clear_cache()
+                _write_manifest(sess, cfg, [args.experiment], args.out)
         elif args.command == "run-all":
             cfg = _config(args)
-            for eid in experiment_ids():
-                result = run_experiment(eid, cfg, **_run_kwargs(args))
-                _emit(result, args.out, chart=args.chart)
-            clear_cache()
+            with telemetry.session(cfg, label="run-all") as sess:
+                ids = experiment_ids()
+                for eid in ids:
+                    result = run_experiment(eid, cfg, **_run_kwargs(args))
+                    _emit(result, args.out, chart=args.chart)
+                clear_cache()
+                _write_manifest(sess, cfg, ids, args.out)
         elif args.command == "workload":
             workload = get_workload(args.name, get_machine(args.machine),
                                     args.refs, args.seed)
@@ -301,6 +434,10 @@ def main(argv: list[str] | None = None) -> int:
             return _check(args)
         elif args.command == "cache":
             return _cache(args)
+        elif args.command == "stats":
+            return _stats(args)
+        elif args.command == "trace":
+            return _trace(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

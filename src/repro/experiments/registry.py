@@ -25,6 +25,7 @@ from repro.experiments import (
     intro_energy_split,
     table1_params,
 )
+from repro import telemetry
 from repro.sim.report import ExperimentResult
 from repro.util.validation import ConfigError
 
@@ -74,4 +75,6 @@ def run_experiment(experiment_id: str, config=None, **kwargs) -> ExperimentResul
         raise ConfigError(
             f"unknown experiment {experiment_id!r}; available: {experiment_ids()}"
         ) from None
-    return fn(config, **kwargs)
+    with telemetry.span("experiment", experiment=experiment_id):
+        telemetry.count("experiments.runs", experiment=experiment_id)
+        return fn(config, **kwargs)

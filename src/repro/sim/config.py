@@ -16,6 +16,9 @@ Environment knobs honoured by the benchmark/experiment layer:
 ``REPRO_STREAM_CACHE``
     Persistent stream-cache directory (``1`` selects ``.repro-cache/``);
     see :mod:`repro.sim.streamcache`.
+``REPRO_TELEMETRY``
+    Enable telemetry collection (spans, metrics, run manifests); see
+    :mod:`repro.telemetry`.
 """
 
 from __future__ import annotations
@@ -90,6 +93,12 @@ class SimConfig:
     #: comparisons and from :meth:`cache_key`.  ``REPRO_STREAM_CACHE=dir``
     #: enables it globally.
     stream_cache: "str | None" = field(default=None, compare=False)
+    #: Opt-in telemetry collection (see :mod:`repro.telemetry`): stage
+    #: spans, metric counters and the run manifest.  Observation only — a
+    #: traced run must produce the same trajectory as an untraced one — so
+    #: like ``checked`` it is excluded from comparisons and from
+    #: :meth:`cache_key`.  ``REPRO_TELEMETRY=1`` enables it globally.
+    telemetry: bool = field(default=False, compare=False)
     extra: dict = field(default_factory=dict, compare=False)
 
     def __post_init__(self) -> None:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import checking
+from repro import checking, telemetry
 from repro.hierarchy.events import OutcomeRecorder, OutcomeStream
 from repro.hierarchy.hierarchy import CacheHierarchy
 from repro.sim.config import SimConfig
@@ -70,6 +70,19 @@ class ContentSimulator:
         prefix of the full one (the merge order is deterministic), but its
         fingerprint naturally differs from the full stream's.
         """
+        with telemetry.span(
+            "content_walk",
+            workload=workload.name,
+            machine=self.config.machine.name,
+            policy=self.config.policy.value,
+            checked=checking.enabled(self.config),
+        ):
+            stream = self._walk(workload, max_accesses)
+        telemetry.count("content.walks")
+        telemetry.count("content.accesses", stream.num_accesses)
+        return stream
+
+    def _walk(self, workload: Workload, max_accesses: int | None) -> OutcomeStream:
         cfg = self.config
         if workload.cores != cfg.machine.cores:
             raise ConfigError(

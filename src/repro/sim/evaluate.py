@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro import checking
+from repro import checking, telemetry
 from repro.energy.accounting import CostTable, EnergyLedger, StaticEnergyModel
 from repro.energy.params import MachineConfig
 from repro.energy.timing import TimingModel, TimingResult
@@ -244,16 +244,25 @@ def evaluate_scheme(
         checked = checking.enabled(None)
     if scheme.kind == "predictor":
         predictor = scheme.build_predictor(machine)
-        if vector_replay.eligible(predictor) and not vector_replay.vector_replay_disabled():
-            predicted, consulted, stall = vector_replay.replay_redhip_vectorized(
-                stream, predictor
-            )
-            if checked:
-                _assert_replay_equivalent(
-                    stream, scheme, machine, predictor, predicted, consulted, stall
+        with telemetry.span(
+            "replay", scheme=scheme.name, workload=workload.name
+        ) as replay_span:
+            if vector_replay.eligible(predictor) and not vector_replay.vector_replay_disabled():
+                replay_span.tag(path="vector")
+                telemetry.count("replay.vector")
+                predicted, consulted, stall = vector_replay.replay_redhip_vectorized(
+                    stream, predictor
                 )
-        else:
-            predicted, consulted, stall = replay_predictor(stream, predictor)
+                if checked:
+                    with telemetry.span("replay_equivalence_check"):
+                        _assert_replay_equivalent(
+                            stream, scheme, machine, predictor, predicted,
+                            consulted, stall,
+                        )
+            else:
+                replay_span.tag(path="sequential")
+                telemetry.count("replay.sequential")
+                predicted, consulted, stall = replay_predictor(stream, predictor)
         fn = int((~predicted & (h >= 2)).sum())
         if fn:
             raise ReproError(
@@ -268,139 +277,143 @@ def evaluate_scheme(
     skips = int((~predicted & (h == 0) & miss_mask).sum())
     false_positives = int((predicted & (h == 0)).sum()) if scheme.skips_on_predicted_miss else 0
 
-    # ---- latency + probe energy ------------------------------------------
-    lat = np.full(n, float(costs.level_parallel_delay(1)), dtype=np.float64)
-    ledger.charge("L1", "probe", costs.level_parallel_energy(1), n)
+    # The accounting stages below are pure NumPy over frozen arrays; the
+    # span makes their share of the wall time visible in `repro stats`.
+    with telemetry.span("energy_accounting", scheme=scheme.name,
+                        workload=workload.name):
+        # ---- latency + probe energy ------------------------------------------
+        lat = np.full(n, float(costs.level_parallel_delay(1)), dtype=np.float64)
+        ledger.charge("L1", "probe", costs.level_parallel_energy(1), n)
 
-    if scheme.consults_table:
-        # Gated predictors answer some misses without a table consult;
-        # only real consults pay the lookup delay and energy.
-        lat[consulted] += scheme.resolve_lookup_delay(machine)
-        ledger.charge(
-            "PT", "lookup", scheme.resolve_lookup_energy(machine),
-            int(consulted.sum()),
-        )
-
-    # Per-level reach/hit tallies, computed once here and reused for the
-    # per-level accounting below (they were recomputed per level before).
-    level_tallies: dict[int, tuple[int, int]] = {}
-    for level in range(2, num_levels + 1):
-        reach = (h == 0) | (h >= level)
-        if scheme.skips_on_predicted_miss:
-            reach = reach & predicted
-        hits = reach & (h == level)
-        misses = reach & (h != level)
-        n_reach = int(reach.sum())
-        n_hits = int(hits.sum())
-        level_tallies[level] = (n_reach, n_hits)
-        n_miss = n_reach - n_hits
-        name = machine.level(level).name
-        if level in scheme.phased_levels:
-            lat[hits] += costs.level_tag_delay(level) + costs.level_data_delay(level)
-            lat[misses] += costs.level_tag_delay(level)
-            ledger.charge(name, "tag", costs.level_tag_energy(level), n_reach)
-            ledger.charge(name, "data", costs.level_data_energy(level), n_hits)
-        elif level in scheme.way_predicted_levels:
-            # MRU-way prediction [12]: tag array plus one speculative data
-            # way per probe; an MRU hit (rank 0) finishes at the normal
-            # delay, a non-MRU hit pays a second serialized data access.
-            assoc = machine.level(level).assoc
-            way_energy = costs.level_data_energy(level) / assoc
-            mru_hits = hits & (stream.hit_rank == 0)
-            slow_hits = hits & (stream.hit_rank > 0)
-            lat[mru_hits] += costs.level_parallel_delay(level)
-            lat[slow_hits] += costs.level_parallel_delay(level) + costs.level_data_delay(level)
-            lat[misses] += costs.level_tag_delay(level)
-            ledger.charge(name, "tag", costs.level_tag_energy(level), n_reach)
-            ledger.charge(name, "data", way_energy, n_reach)
-            ledger.charge(name, "data", way_energy, int(slow_hits.sum()))
-        else:
-            lat[hits] += costs.level_parallel_delay(level)
-            lat[misses] += costs.level_tag_delay(level)
-            ledger.charge(name, "probe", costs.level_parallel_energy(level), n_reach)
-
-    # ---- main memory (the paper's free data store unless configured) -----
-    if dram is not None:
-        # Pattern-dependent DRAM: replay memory accesses in run order; the
-        # trajectory is scheme-independent, so every scheme sees the same
-        # bank/row sequence (each evaluation replays a fresh model).
-        from repro.energy.dram import DramConfig, DramModel
-
-        model = DramModel(dram if isinstance(dram, DramConfig) else None)
-        mem_mask = h == 0
-        mem_lat, mem_energy = model.access_stream(stream.block[mem_mask])
-        lat[mem_mask] += mem_lat
-        ledger.counts[("MEM", "access")] += true_misses
-        ledger.energy_nj[("MEM", "access")] += float(mem_energy.sum())
-    else:
-        if memory_latency > 0.0:
-            lat[h == 0] += memory_latency
-        if memory_energy_nj > 0.0:
-            ledger.charge("MEM", "access", memory_energy_nj, true_misses)
-
-    # ---- fills (optional accounting, identical across schemes) -----------
-    if fill_energy_weight > 0.0:
-        for level in range(1, num_levels + 1):
-            fills = true_misses
-            if level < num_levels:
-                fills += int((h > level).sum())
-            name = machine.level(level).name
+        if scheme.consults_table:
+            # Gated predictors answer some misses without a table consult;
+            # only real consults pay the lookup delay and energy.
+            lat[consulted] += scheme.resolve_lookup_delay(machine)
             ledger.charge(
-                name, "fill", fill_energy_weight * costs.level_data_energy(level), fills
+                "PT", "lookup", scheme.resolve_lookup_energy(machine),
+                int(consulted.sum()),
             )
 
-    # ---- memory-level parallelism (1.0 = the paper's serialized model) ---
-    if mlp != 1.0:
-        d1 = float(costs.level_parallel_delay(1))
-        lat = d1 + (lat - d1) / mlp
+        # Per-level reach/hit tallies, computed once here and reused for the
+        # per-level accounting below (they were recomputed per level before).
+        level_tallies: dict[int, tuple[int, int]] = {}
+        for level in range(2, num_levels + 1):
+            reach = (h == 0) | (h >= level)
+            if scheme.skips_on_predicted_miss:
+                reach = reach & predicted
+            hits = reach & (h == level)
+            misses = reach & (h != level)
+            n_reach = int(reach.sum())
+            n_hits = int(hits.sum())
+            level_tallies[level] = (n_reach, n_hits)
+            n_miss = n_reach - n_hits
+            name = machine.level(level).name
+            if level in scheme.phased_levels:
+                lat[hits] += costs.level_tag_delay(level) + costs.level_data_delay(level)
+                lat[misses] += costs.level_tag_delay(level)
+                ledger.charge(name, "tag", costs.level_tag_energy(level), n_reach)
+                ledger.charge(name, "data", costs.level_data_energy(level), n_hits)
+            elif level in scheme.way_predicted_levels:
+                # MRU-way prediction [12]: tag array plus one speculative data
+                # way per probe; an MRU hit (rank 0) finishes at the normal
+                # delay, a non-MRU hit pays a second serialized data access.
+                assoc = machine.level(level).assoc
+                way_energy = costs.level_data_energy(level) / assoc
+                mru_hits = hits & (stream.hit_rank == 0)
+                slow_hits = hits & (stream.hit_rank > 0)
+                lat[mru_hits] += costs.level_parallel_delay(level)
+                lat[slow_hits] += costs.level_parallel_delay(level) + costs.level_data_delay(level)
+                lat[misses] += costs.level_tag_delay(level)
+                ledger.charge(name, "tag", costs.level_tag_energy(level), n_reach)
+                ledger.charge(name, "data", way_energy, n_reach)
+                ledger.charge(name, "data", way_energy, int(slow_hits.sum()))
+            else:
+                lat[hits] += costs.level_parallel_delay(level)
+                lat[misses] += costs.level_tag_delay(level)
+                ledger.charge(name, "probe", costs.level_parallel_energy(level), n_reach)
 
-    # ---- predictor maintenance -------------------------------------------
-    predictor_stats: dict = {}
-    if predictor is not None:
-        updates = int(getattr(predictor, "table_updates", 0))
-        ledger.charge("PT", "update", costs.pt_update_energy, updates)
-        recal_nj = predictor.maintenance_energy_nj()
-        if recal_nj:
-            ledger.charge("PT", "recal", recal_nj, 1)
-        predictor_stats = predictor.stats()
+        # ---- main memory (the paper's free data store unless configured) -----
+        if dram is not None:
+            # Pattern-dependent DRAM: replay memory accesses in run order; the
+            # trajectory is scheme-independent, so every scheme sees the same
+            # bank/row sequence (each evaluation replays a fresh model).
+            from repro.energy.dram import DramConfig, DramModel
 
-    # ---- timing ------------------------------------------------------------
-    timing = TimingModel(machine).run(
-        core_ids=stream.core.astype(np.int64),
-        gaps=stream.gap,
-        latencies=lat,
-        cpis=workload.cpis,
-        stall_cycles=stall,
-    )
-    static_nj = StaticEnergyModel(machine).static_energy_nj(
-        timing.exec_cycles, include_pt=scheme.consults_table
-    )
+            model = DramModel(dram if isinstance(dram, DramConfig) else None)
+            mem_mask = h == 0
+            mem_lat, mem_energy = model.access_stream(stream.block[mem_mask])
+            lat[mem_mask] += mem_lat
+            ledger.counts[("MEM", "access")] += true_misses
+            ledger.energy_nj[("MEM", "access")] += float(mem_energy.sum())
+        else:
+            if memory_latency > 0.0:
+                lat[h == 0] += memory_latency
+            if memory_energy_nj > 0.0:
+                ledger.charge("MEM", "access", memory_energy_nj, true_misses)
 
-    # ---- per-level accounting under this scheme ---------------------------
-    level_lookups = {1: n}
-    level_hits = {1: n - l1_misses}
-    for level, (n_reach, n_hits) in level_tallies.items():
-        level_lookups[level] = n_reach
-        level_hits[level] = n_hits
-    hit_rates = {
-        lvl: (level_hits[lvl] / level_lookups[lvl] if level_lookups[lvl] else 0.0)
-        for lvl in level_lookups
-    }
+        # ---- fills (optional accounting, identical across schemes) -----------
+        if fill_energy_weight > 0.0:
+            for level in range(1, num_levels + 1):
+                fills = true_misses
+                if level < num_levels:
+                    fills += int((h > level).sum())
+                name = machine.level(level).name
+                ledger.charge(
+                    name, "fill", fill_energy_weight * costs.level_data_energy(level), fills
+                )
 
-    return SchemeResult(
-        scheme=scheme.name,
-        workload=workload.name,
-        machine=machine.name,
-        timing=timing,
-        ledger=ledger,
-        static_nj=static_nj,
-        hit_rates=hit_rates,
-        level_lookups=level_lookups,
-        level_hits=level_hits,
-        l1_misses=l1_misses,
-        skips=skips,
-        false_positives=false_positives,
-        true_misses=true_misses,
-        recal_stall_cycles=stall,
-        predictor_stats=predictor_stats,
-    )
+        # ---- memory-level parallelism (1.0 = the paper's serialized model) ---
+        if mlp != 1.0:
+            d1 = float(costs.level_parallel_delay(1))
+            lat = d1 + (lat - d1) / mlp
+
+        # ---- predictor maintenance -------------------------------------------
+        predictor_stats: dict = {}
+        if predictor is not None:
+            updates = int(getattr(predictor, "table_updates", 0))
+            ledger.charge("PT", "update", costs.pt_update_energy, updates)
+            recal_nj = predictor.maintenance_energy_nj()
+            if recal_nj:
+                ledger.charge("PT", "recal", recal_nj, 1)
+            predictor_stats = predictor.stats()
+
+        # ---- timing ------------------------------------------------------------
+        timing = TimingModel(machine).run(
+            core_ids=stream.core.astype(np.int64),
+            gaps=stream.gap,
+            latencies=lat,
+            cpis=workload.cpis,
+            stall_cycles=stall,
+        )
+        static_nj = StaticEnergyModel(machine).static_energy_nj(
+            timing.exec_cycles, include_pt=scheme.consults_table
+        )
+
+        # ---- per-level accounting under this scheme ---------------------------
+        level_lookups = {1: n}
+        level_hits = {1: n - l1_misses}
+        for level, (n_reach, n_hits) in level_tallies.items():
+            level_lookups[level] = n_reach
+            level_hits[level] = n_hits
+        hit_rates = {
+            lvl: (level_hits[lvl] / level_lookups[lvl] if level_lookups[lvl] else 0.0)
+            for lvl in level_lookups
+        }
+
+        return SchemeResult(
+            scheme=scheme.name,
+            workload=workload.name,
+            machine=machine.name,
+            timing=timing,
+            ledger=ledger,
+            static_nj=static_nj,
+            hit_rates=hit_rates,
+            level_lookups=level_lookups,
+            level_hits=level_hits,
+            l1_misses=l1_misses,
+            skips=skips,
+            false_positives=false_positives,
+            true_misses=true_misses,
+            recal_stall_cycles=stall,
+            predictor_stats=predictor_stats,
+        )

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro import checking
+from repro import checking, telemetry
 from repro.core.exclusive import ExclusiveReDHiP
 from repro.energy.accounting import CostTable, EnergyLedger, StaticEnergyModel
 from repro.energy.timing import TimingResult
@@ -64,6 +64,19 @@ class IntegratedSimulator:
 
     # ------------------------------------------------------------------ main
     def run(
+        self,
+        workload: Workload,
+        scheme: SchemeSpec,
+        prefetch: PrefetchConfig | None = None,
+    ) -> SchemeResult:
+        with telemetry.span(
+            "integrated_run", scheme=scheme.name, workload=workload.name,
+            prefetch=prefetch is not None,
+        ):
+            telemetry.count("integrated.runs")
+            return self._run(workload, scheme, prefetch)
+
+    def _run(
         self,
         workload: Workload,
         scheme: SchemeSpec,
@@ -382,6 +395,13 @@ class IntegratedSimulator:
         self, workload: Workload, recal_period: int | None
     ) -> SchemeResult:
         """ReDHiP on the fully exclusive hierarchy (§III-C, Figure 13)."""
+        with telemetry.span("exclusive_redhip", workload=workload.name):
+            telemetry.count("integrated.runs")
+            return self._run_exclusive_redhip(workload, recal_period)
+
+    def _run_exclusive_redhip(
+        self, workload: Workload, recal_period: int | None
+    ) -> SchemeResult:
         cfg = self.config
         machine = cfg.machine
         if cfg.policy is not InclusionPolicy.EXCLUSIVE:

@@ -27,6 +27,7 @@ import os
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 
+from repro import telemetry
 from repro.hierarchy.events import OutcomeStream
 from repro.hierarchy.inclusion import InclusionPolicy
 from repro.sim.config import SimConfig
@@ -36,7 +37,7 @@ from repro.sim.streamcache import resolve_cache, stream_key
 from repro.util.validation import check_positive
 from repro.workloads import get_workload
 
-__all__ = ["walk_one", "prewarm_streams", "default_workers"]
+__all__ = ["walk_one", "walk_one_traced", "prewarm_streams", "default_workers"]
 
 
 def default_workers() -> int:
@@ -51,6 +52,7 @@ def default_workers() -> int:
         try:
             return max(1, int(env))
         except ValueError:
+            telemetry.event("parallel.bad_env", value=env)
             warnings.warn(
                 f"ignoring non-integer REPRO_PARALLEL={env!r}; "
                 f"falling back to cores-1",
@@ -68,11 +70,24 @@ def walk_one(config: SimConfig, workload_name: str,
     parent needs to slot the stream into a runner cache.
     """
     cfg = config if policy is None else config.with_policy(policy)
-    workload = get_workload(
-        workload_name, cfg.machine, cfg.refs_per_core, cfg.seed
-    )
+    with telemetry.span("workload_build", workload=workload_name):
+        workload = get_workload(
+            workload_name, cfg.machine, cfg.refs_per_core, cfg.seed
+        )
+    telemetry.count("workload.builds")
     stream = ContentSimulator(cfg).run(workload)
     return workload_name, cfg.policy.value, stream
+
+
+def walk_one_traced(config: SimConfig, workload_name: str,
+                    policy: str | None = None) -> tuple[str, str, OutcomeStream, dict]:
+    """Worker entry point with telemetry: :func:`walk_one` under a fresh
+    session, returning the session snapshot as a fourth element so the
+    parent can merge it (parallel ≡ serial aggregate counters)."""
+    with telemetry.session(force=True, label=f"worker-{workload_name}") as sess:
+        name, pol, stream = walk_one(config, workload_name, policy)
+        snapshot = sess.snapshot()
+    return name, pol, stream, snapshot
 
 
 def prewarm_streams(
@@ -117,15 +132,26 @@ def prewarm_streams(
         return out
 
     pol = None if policy is None else InclusionPolicy.parse(policy).value
-    with ProcessPoolExecutor(max_workers=min(nworkers, len(pending))) as pool:
-        futures = [
-            pool.submit(walk_one, runner.config, name, pol) for name in pending
-        ]
-        for fut in futures:
-            name, _pol, stream = fut.result()
-            key = (name, *cfg.cache_key())
-            runner._streams[key] = stream
-            out[name] = stream
-            if disk is not None:
-                disk.save(stream_key(name, cfg), stream)
+    # With telemetry collecting in this process, workers run their own
+    # sessions and ship their snapshots back for merging, so the parallel
+    # prewarm reports the same aggregate counters a serial one would.
+    traced = telemetry.active() is not None
+    worker_fn = walk_one_traced if traced else walk_one
+    with telemetry.span("prewarm", workloads=len(pending), workers=nworkers):
+        telemetry.count("parallel.pools")
+        with ProcessPoolExecutor(max_workers=min(nworkers, len(pending))) as pool:
+            futures = [
+                pool.submit(worker_fn, runner.config, name, pol) for name in pending
+            ]
+            for fut in futures:
+                if traced:
+                    name, _pol, stream, snapshot = fut.result()
+                    telemetry.merge_snapshot(snapshot)
+                else:
+                    name, _pol, stream = fut.result()
+                key = (name, *cfg.cache_key())
+                runner._streams[key] = stream
+                out[name] = stream
+                if disk is not None:
+                    disk.save(stream_key(name, cfg), stream)
     return out

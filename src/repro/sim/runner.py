@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro import checking
+from repro import checking, telemetry
 from repro.hierarchy.events import OutcomeStream
 from repro.hierarchy.inclusion import InclusionPolicy
 from repro.predictors.base import SchemeSpec
@@ -39,6 +39,13 @@ class ExperimentRunner:
     _workloads: dict[tuple, Workload] = field(default_factory=dict, repr=False)
     _streams: dict[tuple, OutcomeStream] = field(default_factory=dict, repr=False)
 
+    def __post_init__(self) -> None:
+        # A config that asks for telemetry (SimConfig(telemetry=True) /
+        # REPRO_TELEMETRY=1) gets a collection session even in pure-API
+        # use; the CLI and bench harness manage their own scoped sessions.
+        if telemetry.enabled(self.config) and telemetry.active() is None:
+            telemetry.start(label=f"runner-{self.config.machine.name}")
+
     # ------------------------------------------------------------ workloads
     def add_workload(self, workload: Workload) -> str:
         """Register an explicit workload (custom traces, loaded trace
@@ -57,9 +64,11 @@ class ExperimentRunner:
         name = self._resolve(name)
         key = (name, self.config.machine.name, self.config.refs_per_core, self.config.seed)
         if key not in self._workloads:
-            self._workloads[key] = get_workload(
-                name, self.config.machine, self.config.refs_per_core, self.config.seed
-            )
+            with telemetry.span("workload_build", workload=name):
+                self._workloads[key] = get_workload(
+                    name, self.config.machine, self.config.refs_per_core, self.config.seed
+                )
+            telemetry.count("workload.builds")
         return self._workloads[key]
 
     # -------------------------------------------------------------- content
@@ -77,12 +86,18 @@ class ExperimentRunner:
         key = (workload_name, *cfg.cache_key())
         if key not in self._streams:
             disk = resolve_cache(cfg)
-            stream = disk.load(stream_key(workload_name, cfg)) if disk else None
+            stream = None
+            if disk is not None:
+                with telemetry.span("cache_load", workload=workload_name):
+                    stream = disk.load(stream_key(workload_name, cfg))
             if stream is None:
                 stream = ContentSimulator(cfg).run(self.workload(workload_name))
                 if disk is not None:
-                    disk.save(stream_key(workload_name, cfg), stream)
+                    with telemetry.span("cache_save", workload=workload_name):
+                        disk.save(stream_key(workload_name, cfg), stream)
             self._streams[key] = stream
+        else:
+            telemetry.count("runner.memo_hit")
         return self._streams[key]
 
     # ------------------------------------------------------------ two-phase

@@ -42,6 +42,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import telemetry
 from repro.hierarchy.events import OutcomeStream
 
 __all__ = [
@@ -161,6 +162,7 @@ class StreamCache:
             np.savez_compressed(fh, meta=np.frombuffer(meta.encode(), dtype=np.uint8),
                                 **arrays)
         os.replace(tmp, path)
+        telemetry.count("stream_cache.save")
         return path
 
     # --------------------------------------------------------------- load
@@ -175,6 +177,7 @@ class StreamCache:
         """
         path = self.path_for(key)
         if not path.exists():
+            telemetry.count("stream_cache.miss")
             return None
         try:
             stream, meta = self._read(path)
@@ -187,6 +190,7 @@ class StreamCache:
         if stream.fingerprint() != meta.get("fingerprint"):
             self._discard(path, "fingerprint mismatch (stale or corrupt)")
             return None
+        telemetry.count("stream_cache.hit")
         return stream
 
     def _read(self, path: Path) -> tuple[OutcomeStream, dict]:
@@ -211,6 +215,10 @@ class StreamCache:
         )
 
     def _discard(self, path: Path, reason: str) -> None:
+        # Structured event + counter for the manifest; the warning stays
+        # for callers that only watch the warnings stream.
+        telemetry.count("stream_cache.reject")
+        telemetry.event("stream_cache.discard", entry=path.name, reason=reason)
         warnings.warn(
             f"discarding stream-cache entry {path.name}: {reason}",
             RuntimeWarning,

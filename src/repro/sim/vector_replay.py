@@ -43,6 +43,7 @@ import os
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.recalibration import RecalibrationEngine
 from repro.core.redhip import ReDHiPController
 from repro.hierarchy.events import EVENT_FILL, OutcomeStream
@@ -130,9 +131,11 @@ def replay_redhip_vectorized(
     out = np.empty(n_miss, dtype=bool)
     first_fill = None                            # lazily allocated
     sweeps = 0
+    epochs = 0
     ev_lo = 0
     pos = 0
     while pos < n_miss:
+        epochs += 1
         if period is None:
             pos_end, sweep_here = n_miss, False
         else:
@@ -193,6 +196,8 @@ def replay_redhip_vectorized(
     engine.l1_misses = start_misses + n_miss
     engine.sweeps += sweeps
     stall = float(sweeps * engine.cost.cycles)
+    telemetry.count("replay.epochs", epochs)
+    telemetry.count("replay.sweeps", sweeps)
 
     predicted[miss_mask] = out
     consulted[miss_mask] = True                  # plain ReDHiP always consults

@@ -1,0 +1,199 @@
+"""Process-local metrics registry: counters, gauges, histograms, timers.
+
+The registry is a plain dictionary store keyed by flat metric names —
+``stream_cache.hit`` — optionally qualified with sorted key=value tags —
+``invariants.violations{invariant=inclusion}``.  Flat string keys keep the
+snapshot trivially JSON-able, mergeable across processes, and greppable in
+a run manifest.
+
+Design constraints (see the module docstring of :mod:`repro.telemetry`):
+
+* **dependency-free** — stdlib only, importable from anywhere in the tree
+  (including :mod:`repro.checking`, which must not import ``repro.sim``);
+* **null-object fast path** — :data:`NULL_REGISTRY` implements the same
+  surface as no-ops, so instrumented call sites never branch on "is
+  telemetry on"; the facade hands them the null object when it is off;
+* **mergeable** — :meth:`MetricsRegistry.merge` folds a worker process's
+  :meth:`snapshot` into the parent, with counters adding, gauges
+  last-write-wins and histograms combining moments, so parallel and
+  serial runs produce identical aggregate counters.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+__all__ = ["Histogram", "MetricsRegistry", "NullRegistry", "NULL_REGISTRY", "metric_key"]
+
+
+def metric_key(name: str, tags: dict | None = None) -> str:
+    """Flat string identity of a metric: ``name{k1=v1,k2=v2}``."""
+    if not tags:
+        return name
+    inner = ",".join(f"{k}={tags[k]}" for k in sorted(tags))
+    return f"{name}{{{inner}}}"
+
+
+@dataclass
+class Histogram:
+    """Moment sketch of an observed distribution (count/sum/min/max).
+
+    Deliberately bounded — no per-sample storage — so a histogram can sit
+    on a hot path and still snapshot to a four-number dict.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        if not self.count:
+            return {"count": 0, "total": 0.0, "min": None, "max": None, "mean": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def merge(self, other: dict) -> None:
+        """Fold a snapshotted histogram dict into this one."""
+        if not other.get("count"):
+            return
+        self.count += int(other["count"])
+        self.total += float(other["total"])
+        if other["min"] is not None and other["min"] < self.min:
+            self.min = float(other["min"])
+        if other["max"] is not None and other["max"] > self.max:
+            self.max = float(other["max"])
+
+
+class _Timer:
+    """Context manager recording elapsed seconds into a histogram."""
+
+    __slots__ = ("_registry", "_name", "_tags", "_t0")
+
+    def __init__(self, registry: "MetricsRegistry", name: str, tags: dict) -> None:
+        self._registry = registry
+        self._name = name
+        self._tags = tags
+
+    def __enter__(self) -> "_Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._registry.observe(
+            self._name, time.perf_counter() - self._t0, **self._tags
+        )
+        return False
+
+
+class MetricsRegistry:
+    """Mutable metric store for one telemetry session (or one worker)."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------ recording
+    def count(self, name: str, value: float = 1, **tags) -> None:
+        key = metric_key(name, tags)
+        self.counters[key] = self.counters.get(key, 0) + value
+
+    def gauge(self, name: str, value: float, **tags) -> None:
+        self.gauges[metric_key(name, tags)] = value
+
+    def observe(self, name: str, value: float, **tags) -> None:
+        key = metric_key(name, tags)
+        hist = self.histograms.get(key)
+        if hist is None:
+            hist = self.histograms[key] = Histogram()
+        hist.observe(value)
+
+    def timer(self, name: str, **tags) -> _Timer:
+        return _Timer(self, name, tags)
+
+    # ------------------------------------------------------------- reading
+    def counter_total(self, prefix: str) -> float:
+        """Sum of every counter whose name (or tagged name) starts with
+        ``prefix`` — ``counter_total("replay.path")`` sums all path tags."""
+        return sum(v for k, v in self.counters.items() if k.startswith(prefix))
+
+    def snapshot(self) -> dict:
+        """JSON-able (and picklable) view of every metric."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: h.to_dict() for k, h in self.histograms.items()},
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one."""
+        for key, value in snapshot.get("counters", {}).items():
+            self.counters[key] = self.counters.get(key, 0) + value
+        self.gauges.update(snapshot.get("gauges", {}))
+        for key, data in snapshot.get("histograms", {}).items():
+            hist = self.histograms.get(key)
+            if hist is None:
+                hist = self.histograms[key] = Histogram()
+            hist.merge(data)
+
+
+class _NullTimer:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class NullRegistry:
+    """No-op registry with the same surface; shared singleton below."""
+
+    __slots__ = ()
+
+    def count(self, name: str, value: float = 1, **tags) -> None:
+        pass
+
+    def gauge(self, name: str, value: float, **tags) -> None:
+        pass
+
+    def observe(self, name: str, value: float, **tags) -> None:
+        pass
+
+    def timer(self, name: str, **tags) -> _NullTimer:
+        return _NULL_TIMER
+
+    def counter_total(self, prefix: str) -> float:
+        return 0.0
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge(self, snapshot: dict) -> None:
+        pass
+
+
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,214 @@
+"""Tracing spans: stage-level wall-time intervals with nesting.
+
+A span brackets one pipeline stage — a workload build, a content walk, a
+predictor replay — via a context manager.  Spans nest (the tracer keeps a
+stack), so exported traces show the experiment → evaluate → replay
+containment the two-phase design implies.  Records are kept in start
+order with parent indices, which makes both aggregation (per-stage
+totals for ``repro stats``) and Chrome/Perfetto ``trace_event`` export
+(``repro trace``) single passes.
+
+Timing uses ``perf_counter`` relative to a per-tracer epoch; the wall
+epoch (``time.time`` at tracer creation) is stored alongside so spans
+from worker processes can be shifted onto the parent's timeline when
+their snapshots are merged.
+
+The tracer is deliberately not thread-safe: every simulation path in this
+repo is single-threaded per process, and parallelism happens across
+processes (merged via snapshots).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["SpanRecord", "Tracer", "NullSpan", "NULL_SPAN", "chrome_trace"]
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or in-flight) stage interval."""
+
+    name: str
+    start_s: float                   # seconds since the tracer's epoch
+    duration_s: float                # 0.0 while the span is still open
+    depth: int                       # nesting depth (0 = top level)
+    index: int                       # position in the tracer's record list
+    parent: int                      # index of the enclosing span, or -1
+    tags: dict = field(default_factory=dict)
+    pid: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "depth": self.depth,
+            "index": self.index,
+            "parent": self.parent,
+            "tags": dict(self.tags),
+            "pid": self.pid,
+        }
+
+
+class Span:
+    """Context manager for one interval; re-entrant use is not supported."""
+
+    __slots__ = ("_tracer", "_name", "_tags", "_rec", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, tags: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._tags = tags
+        self._rec: SpanRecord | None = None
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        self._t0 = time.perf_counter()
+        rec = SpanRecord(
+            name=self._name,
+            start_s=self._t0 - tracer.epoch_perf,
+            duration_s=0.0,
+            depth=len(tracer._stack),
+            index=len(tracer.records),
+            parent=tracer._stack[-1] if tracer._stack else -1,
+            tags=self._tags,
+            pid=tracer.pid,
+        )
+        tracer.records.append(rec)
+        tracer._stack.append(rec.index)
+        self._rec = rec
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._rec.duration_s = time.perf_counter() - self._t0
+        self._tracer._stack.pop()
+        return False
+
+    def tag(self, **tags) -> None:
+        """Attach tags discovered mid-span (e.g. the replay path chosen)."""
+        self._rec.tags.update(tags)
+
+
+class NullSpan:
+    """Shared no-op span: the disabled-mode fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def tag(self, **tags) -> None:
+        pass
+
+
+NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Collects spans for one process's telemetry session."""
+
+    def __init__(self) -> None:
+        self.epoch_perf = time.perf_counter()
+        self.epoch_unix = time.time()
+        self.pid = os.getpid()
+        self.records: list[SpanRecord] = []
+        self._stack: list[int] = []
+
+    def span(self, name: str, **tags) -> Span:
+        return Span(self, name, tags)
+
+    def wall_s(self) -> float:
+        """Seconds since this tracer was created."""
+        return time.perf_counter() - self.epoch_perf
+
+    def to_dicts(self) -> list[dict]:
+        return [r.to_dict() for r in self.records]
+
+    def extend(self, span_dicts: list[dict], shift_s: float = 0.0) -> None:
+        """Adopt spans from a worker snapshot, shifted onto this timeline.
+
+        ``shift_s`` is (worker epoch − parent epoch) in wall seconds, so a
+        worker span that started 1 s into a worker launched 3 s into the
+        parent run lands at t=4 s.  Parent links within the adopted batch
+        are preserved by re-basing their indices.
+        """
+        base = len(self.records)
+        for d in span_dicts:
+            self.records.append(
+                SpanRecord(
+                    name=d["name"],
+                    start_s=d["start_s"] + shift_s,
+                    duration_s=d["duration_s"],
+                    depth=d["depth"],
+                    index=base + d["index"],
+                    parent=(base + d["parent"]) if d["parent"] >= 0 else -1,
+                    tags=dict(d.get("tags", ())),
+                    pid=d.get("pid", 0),
+                )
+            )
+
+    def stage_totals(self) -> dict[str, dict]:
+        """Aggregate spans by name: count, total and self time (seconds).
+
+        Self time subtracts direct children, so nested stages don't double
+        count when the totals are compared against the session wall time.
+        """
+        child_time: dict[int, float] = {}
+        for rec in self.records:
+            if rec.parent >= 0:
+                child_time[rec.parent] = (
+                    child_time.get(rec.parent, 0.0) + rec.duration_s
+                )
+        out: dict[str, dict] = {}
+        for rec in self.records:
+            agg = out.setdefault(
+                rec.name, {"count": 0, "total_s": 0.0, "self_s": 0.0}
+            )
+            agg["count"] += 1
+            agg["total_s"] += rec.duration_s
+            agg["self_s"] += max(0.0, rec.duration_s - child_time.get(rec.index, 0.0))
+        return out
+
+
+def chrome_trace(span_dicts: list[dict], label: str = "repro") -> dict:
+    """Render span dicts as a Chrome/Perfetto ``trace_event`` document.
+
+    Complete events (``ph: "X"``) with microsecond timestamps — loadable
+    in ``ui.perfetto.dev`` and ``chrome://tracing`` as-is.
+    """
+    events = []
+    pids = []
+    for d in span_dicts:
+        pid = d.get("pid", 0)
+        if pid not in pids:
+            pids.append(pid)
+        events.append(
+            {
+                "name": d["name"],
+                "ph": "X",
+                "cat": label,
+                "ts": d["start_s"] * 1e6,
+                "dur": d["duration_s"] * 1e6,
+                "pid": pid,
+                "tid": pid,
+                "args": {k: str(v) for k, v in d.get("tags", {}).items()},
+            }
+        )
+    for i, pid in enumerate(pids):
+        name = label if i == 0 else f"{label} worker"
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": pid,
+                "args": {"name": f"{name} (pid {pid})"},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

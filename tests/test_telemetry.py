@@ -1,0 +1,294 @@
+"""Telemetry layer: null-object fast path, span export, cross-process
+merge equivalence, manifest schema stability, and the stats/trace CLI.
+
+The load-bearing properties pinned here:
+
+* disabled telemetry is the *default* and costs one attribute check —
+  no session is created, ``span()`` hands back one shared null object,
+  and nothing is recorded anywhere;
+* span nesting (depth/parent) survives the export round trip into
+  Chrome/Perfetto ``trace_event`` JSON;
+* a parallel prewarm merges worker snapshots into the same aggregate
+  counters a serial run produces (parallel ≡ serial);
+* the ``run_manifest.json`` shape is pinned by a golden file — changing
+  it silently is a test failure, changing it deliberately means bumping
+  :data:`MANIFEST_SCHEMA_VERSION` and regenerating the golden.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import telemetry
+from repro.sim.config import SimConfig
+from repro.sim.parallel import prewarm_streams, walk_one_traced
+from repro.sim.runner import ExperimentRunner
+from repro.telemetry import manifest as tmanifest
+from repro.telemetry.registry import MetricsRegistry, metric_key
+from repro.telemetry.spans import Tracer, chrome_trace
+from repro.workloads import PAPER_WORKLOADS
+
+GOLDEN = Path(__file__).parent / "golden" / "manifest_schema.json"
+
+
+@pytest.fixture(autouse=True)
+def _isolated_session():
+    """No test inherits (or leaks) a process-global telemetry session."""
+    telemetry.stop()
+    yield
+    telemetry.stop()
+
+
+# --------------------------------------------------------------- disabled
+class TestDisabledFastPath:
+    def test_span_is_shared_null_object(self):
+        assert telemetry.active() is None
+        s1 = telemetry.span("stage", tag=1)
+        s2 = telemetry.span("other")
+        assert s1 is s2 is telemetry.NULL_SPAN
+        with s1 as inner:  # usable as a context manager, still a no-op
+            inner.tag(path="vector")
+
+    def test_recording_helpers_are_noops(self):
+        telemetry.count("x")
+        telemetry.gauge("y", 3.0)
+        telemetry.observe("z", 0.5)
+        telemetry.event("warned", detail="nothing listens")
+        with telemetry.timer("t"):
+            pass
+        telemetry.merge_snapshot({"metrics": {"counters": {"x": 9}}})
+        assert telemetry.active() is None
+
+    def test_runner_does_not_autostart_without_intent(self, tiny_config,
+                                                      monkeypatch):
+        monkeypatch.delenv(telemetry.TELEMETRY_ENV, raising=False)
+        runner = ExperimentRunner(tiny_config)
+        runner.stream(PAPER_WORKLOADS[0])
+        assert telemetry.active() is None
+
+    def test_enabled_reads_config_and_env(self, tiny_config, monkeypatch):
+        monkeypatch.delenv(telemetry.TELEMETRY_ENV, raising=False)
+        assert not telemetry.enabled(tiny_config)
+        assert telemetry.enabled(SimConfig(
+            machine=tiny_config.machine, refs_per_core=1000, telemetry=True))
+        monkeypatch.setenv(telemetry.TELEMETRY_ENV, "1")
+        assert telemetry.enabled(tiny_config)
+        monkeypatch.setenv(telemetry.TELEMETRY_ENV, "off")
+        assert not telemetry.enabled(tiny_config)
+
+    def test_telemetry_flag_outside_cache_key(self, tiny_config):
+        on = SimConfig(machine=tiny_config.machine,
+                       refs_per_core=tiny_config.refs_per_core,
+                       seed=tiny_config.seed, telemetry=True)
+        assert on.cache_key() == tiny_config.cache_key()
+
+
+# ------------------------------------------------------------------- spans
+class TestSpans:
+    def test_nesting_depth_and_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("mid", k="v"):
+                with tracer.span("inner"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        recs = {r.name: r for r in tracer.records}
+        assert recs["outer"].depth == 0 and recs["outer"].parent == -1
+        assert recs["mid"].depth == 1 and recs["mid"].parent == recs["outer"].index
+        assert recs["inner"].depth == 2 and recs["inner"].parent == recs["mid"].index
+        assert recs["sibling"].parent == recs["outer"].index
+        assert all(r.duration_s >= 0 for r in tracer.records)
+
+    def test_stage_totals_self_time(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        totals = tracer.stage_totals()
+        outer, inner = totals["outer"], totals["inner"]
+        assert outer["count"] == inner["count"] == 1
+        assert outer["self_s"] == pytest.approx(
+            outer["total_s"] - inner["total_s"])
+
+    def test_chrome_trace_roundtrip(self):
+        tracer = Tracer()
+        with tracer.span("a", scheme="redhip"):
+            with tracer.span("b"):
+                pass
+        doc = chrome_trace(tracer.to_dicts(), label="unit")
+        body = json.loads(json.dumps(doc))  # JSON-serialisable end to end
+        events = body["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert meta and complete
+        by_name = {e["name"]: e for e in complete}
+        assert by_name["a"]["args"] == {"scheme": "redhip"}
+        # b nests inside a on the same timeline, in microseconds.
+        assert by_name["a"]["ts"] <= by_name["b"]["ts"]
+        assert (by_name["b"]["ts"] + by_name["b"]["dur"]
+                <= by_name["a"]["ts"] + by_name["a"]["dur"] + 1e-3)
+        assert all(e["pid"] == complete[0]["pid"] for e in complete)
+
+
+# ---------------------------------------------------------------- registry
+class TestRegistry:
+    def test_metric_key_tags_are_sorted(self):
+        assert metric_key("n", {}) == "n"
+        assert (metric_key("n", {"b": 2, "a": 1})
+                == metric_key("n", {"a": 1, "b": 2})
+                == "n{a=1,b=2}")
+
+    def test_counter_gauge_histogram(self):
+        reg = MetricsRegistry()
+        reg.count("hits")
+        reg.count("hits", 2)
+        reg.gauge("depth", 3)
+        reg.gauge("depth", 4)
+        reg.observe("lat", 1.0)
+        reg.observe("lat", 3.0)
+        snap = reg.snapshot()
+        assert snap["counters"]["hits"] == 3
+        assert snap["gauges"]["depth"] == 4  # last-wins
+        h = snap["histograms"]["lat"]
+        assert h["count"] == 2 and h["min"] == 1.0 and h["max"] == 3.0
+
+    def test_merge_adds_counters_and_combines_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.count("walks", 2)
+        b.count("walks", 3)
+        a.observe("t", 1.0)
+        b.observe("t", 5.0)
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"]["walks"] == 5
+        merged = snap["histograms"]["t"]
+        assert merged["count"] == 2 and merged["mean"] == 3.0
+        assert merged["min"] == 1.0 and merged["max"] == 5.0
+
+
+# ------------------------------------------------- cross-process equivalence
+class TestParallelEquivalence:
+    #: counters a prewarm must report identically, serial or parallel
+    KEYS = ("content.walks", "content.accesses", "workload.builds")
+
+    @staticmethod
+    def _counters(cfg, names, workers):
+        with telemetry.session(force=True, label="equiv") as sess:
+            runner = ExperimentRunner(cfg)
+            if workers == 0:  # pure serial path, no pool code at all
+                for name in names:
+                    runner.stream(name)
+            else:
+                prewarm_streams(runner, names, workers=workers)
+            counters = dict(sess.registry.snapshot()["counters"])
+        return counters
+
+    def test_parallel_matches_serial(self, tiny_machine):
+        cfg = SimConfig(machine=tiny_machine, refs_per_core=1000, seed=7)
+        names = PAPER_WORKLOADS[:2]
+        serial = self._counters(cfg, names, workers=0)
+        pooled = self._counters(cfg, names, workers=2)
+        for key in self.KEYS:
+            assert pooled[key] == serial[key], key
+        assert pooled["parallel.pools"] == 1
+
+    def test_worker_snapshot_merges_spans_and_events(self, tiny_machine):
+        cfg = SimConfig(machine=tiny_machine, refs_per_core=500, seed=7)
+        name, _pol, _stream, snapshot = walk_one_traced(
+            cfg, PAPER_WORKLOADS[0])
+        assert name == PAPER_WORKLOADS[0]
+        assert snapshot["metrics"]["counters"]["content.walks"] == 1
+        parent = telemetry.start("parent")
+        with parent.tracer.span("prewarm"):
+            telemetry.merge_snapshot(snapshot)
+        names = [s["name"] for s in parent.tracer.to_dicts()]
+        assert "content_walk" in names and "workload_build" in names
+        assert parent.registry.snapshot()["counters"]["content.walks"] == 1
+
+
+# ---------------------------------------------------------------- manifest
+class TestManifest:
+    @staticmethod
+    def _session_with_work(tiny_machine):
+        cfg = SimConfig(machine=tiny_machine, refs_per_core=500, seed=7)
+        with telemetry.session(force=True, label="unit") as sess:
+            ExperimentRunner(cfg).stream(PAPER_WORKLOADS[0])
+            yielded = sess
+        return cfg, yielded
+
+    def test_schema_matches_golden(self):
+        names = {int: "integer", float: "number", str: "string",
+                 list: "array", dict: "object", type(None): "null"}
+
+        def type_name(spec):
+            if isinstance(spec, tuple):
+                if set(spec) == {int, float}:
+                    return "number"
+                return "|".join(sorted(names[t] for t in spec))
+            return names[spec]
+
+        current = {k: type_name(v) for k, v in tmanifest._SCHEMA.items()}
+        golden = json.loads(GOLDEN.read_text())
+        assert current == golden, (
+            "run_manifest.json shape changed: bump MANIFEST_SCHEMA_VERSION "
+            "and regenerate tests/golden/manifest_schema.json"
+        )
+
+    def test_build_validate_write_load(self, tiny_machine, tmp_path):
+        cfg, sess = self._session_with_work(tiny_machine)
+        data = telemetry.build_manifest(sess, config=cfg, experiments=["x"])
+        assert telemetry.validate_manifest(data) == []
+        assert data["summary"]["content"]["walks"] == 1
+        assert data["config"]["machine"] == "tiny"
+        assert data["config"]["cache_key"] == list(cfg.cache_key())
+        path = telemetry.write_manifest(tmp_path, sess, config=cfg)
+        assert path.name == telemetry.MANIFEST_NAME
+        loaded = telemetry.load_manifest(path)
+        assert loaded["counters"] == data["counters"]
+        assert "content_walk" in loaded["stages"]
+
+    def test_load_rejects_corrupt(self, tiny_machine, tmp_path):
+        cfg, sess = self._session_with_work(tiny_machine)
+        path = telemetry.write_manifest(tmp_path, sess, config=cfg)
+        data = json.loads(path.read_text())
+        del data["stages"]
+        data["schema_version"] = 999
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="schema_version"):
+            telemetry.load_manifest(path)
+        assert len(telemetry.validate_manifest(data)) >= 2
+        assert telemetry.validate_manifest([]) != []
+
+
+# --------------------------------------------------------------------- CLI
+class TestCli:
+    def test_run_stats_trace_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "results"
+        assert main(["run", "fig6", "--machine", "tiny", "--refs", "1000",
+                     "--telemetry", "--out", str(out)]) == 0
+        manifest_path = out / telemetry.MANIFEST_NAME
+        assert manifest_path.exists()
+        assert telemetry.active() is None  # session scoped to the run
+
+        assert main(["stats", str(manifest_path)]) == 0
+        stats_out = capsys.readouterr().out
+        assert "content_walk" in stats_out and "replay paths" in stats_out
+
+        trace_path = tmp_path / "trace.json"
+        assert main(["trace", str(manifest_path),
+                     "-o", str(trace_path)]) == 0
+        doc = json.loads(trace_path.read_text())
+        assert any(e["ph"] == "X" and e["name"] == "experiment"
+                   for e in doc["traceEvents"])
+
+    def test_stats_missing_manifest_is_an_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["stats", str(tmp_path / "nope.json")]) != 0
+        assert "manifest" in capsys.readouterr().err
