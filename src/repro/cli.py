@@ -10,6 +10,7 @@ Examples::
     python -m repro workload mcf --refs 10000 --save mcf.npz
     python -m repro check --workloads mcf,lbm --redhip
     python -m repro check --replay .repro-replay/inclusion-mcf-inclusive-s1-r123.json
+    python -m repro chaos --plan tests/golden/chaos_plan.json
 
 ``run`` prints the same rows/series the paper's figure shows; ``--out``
 additionally writes a markdown file per artifact.
@@ -116,6 +117,34 @@ def build_parser() -> argparse.ArgumentParser:
     ca.add_argument("--dir", type=Path, default=None,
                     help="cache directory (default: $REPRO_STREAM_CACHE, "
                          "else .repro-cache)")
+    ca.add_argument("--discard", action="store_true",
+                    help="with verify: delete the entries that fail "
+                         "(still exits 1 when anything was discarded)")
+
+    ch = sub.add_parser(
+        "chaos",
+        help="run an experiment clean and under a fault-injection plan; "
+             "fail unless the artifacts are byte-identical and every "
+             "fault was handled (see repro.faults)",
+    )
+    ch.add_argument("experiment", nargs="?", default="fig6",
+                    help="artifact id to regenerate (default: fig6)")
+    ch.add_argument("--plan", type=Path, required=True,
+                    help="fault plan JSON (e.g. tests/golden/chaos_plan.json)")
+    ch.add_argument("--machine", default="tiny", choices=sorted(MACHINES),
+                    help="machine configuration (default: tiny — chaos is "
+                         "a smoke harness, not a benchmark)")
+    ch.add_argument("--refs", type=int, default=4000,
+                    help="references per core (default: 4000)")
+    ch.add_argument("--seed", type=int, default=1)
+    ch.add_argument("--workloads", default="mcf,lbm",
+                    help="comma-separated workloads (default: mcf,lbm)")
+    ch.add_argument("--workers", type=int, default=2,
+                    help="prewarm pool width (default: 2; the pool is "
+                         "where worker faults fire)")
+    ch.add_argument("--out", type=Path, default=Path(".repro-chaos"),
+                    help="directory for both runs' artifacts + manifests "
+                         "(default: .repro-chaos)")
 
     st = sub.add_parser(
         "stats",
@@ -284,7 +313,50 @@ def _cache(args) -> int:
     for path in bad:
         print(f"CORRUPT {path.name}")
     print(f"{len(ok)} ok, {len(bad)} corrupt/stale in {cache.directory}")
+    if bad and args.discard:
+        removed = cache.discard_bad()
+        for path in removed:
+            print(f"discarded {path.name}")
+    # Non-zero whenever anything failed verification — with or without
+    # --discard — so a cron'd `cache verify` never hides a poisoned cache.
     return 1 if bad else 0
+
+
+def _chaos(args) -> int:
+    """``repro chaos``: clean-vs-faulted equivalence as a shell command."""
+    from repro.faults import load_plan
+    from repro.faults.chaos import run_chaos
+
+    plan = load_plan(args.plan)
+    cfg = SimConfig(
+        machine=get_machine(args.machine),
+        refs_per_core=args.refs,
+        seed=args.seed,
+    )
+    names = tuple(w.strip() for w in args.workloads.split(",")) \
+        if args.workloads else None
+    print(f"chaos: {args.experiment} on {cfg.machine.name}, "
+          f"{cfg.refs_per_core} refs/core, seed {cfg.seed}, "
+          f"plan {args.plan} ({len(plan.faults)} fault spec(s), "
+          f"plan seed {plan.seed})")
+    report = run_chaos(args.experiment, cfg, plan, args.out,
+                       workloads=names, workers=args.workers)
+    for record in report.injected:
+        print(f"injected  {record['site']:18s} {record['kind']:13s} "
+              f"key={record['key']} hit#{record['hit']}")
+    print(f"fault kinds exercised: {sorted(report.kinds)}")
+    print(f"recovery sites seen:   {sorted(report.handled_sites)}")
+    print("artifact: " + ("byte-identical to baseline" if report.identical
+                          else "DIFFERS from baseline"))
+    for line in report.artifact_diff:
+        print(f"  {line}")
+    for problem in report.problems:
+        print(f"FAIL: {problem}")
+    if report.ok:
+        print(f"chaos ok — every fault handled, results unchanged "
+              f"(artifacts under {report.out_dir}/)")
+        return 0
+    return 1
 
 
 def _write_manifest(sess, cfg: SimConfig, experiments: list, out: Path | None) -> None:
@@ -370,6 +442,12 @@ def _stats(args) -> int:
     print(f"invariants: {inv['violations']:.0f} violations, "
           f"{inv['inclusion_sweeps']:.0f} inclusion sweeps, "
           f"{inv['result_checks']:.0f} result checks")
+    flt = s.get("faults", {})  # absent in pre-faults manifests
+    if any(flt.values()):
+        print(f"faults: {flt.get('injected', 0):.0f} injected, "
+              f"{flt.get('handled', 0):.0f} handled, "
+              f"{flt.get('retries', 0):.0f} retries, "
+              f"{flt.get('workers_lost', 0):.0f} workers lost")
     if m["events"]:
         print(f"events: {len(m['events'])} "
               f"(first: {m['events'][0].get('name')})")
@@ -434,6 +512,8 @@ def main(argv: list[str] | None = None) -> int:
             return _check(args)
         elif args.command == "cache":
             return _cache(args)
+        elif args.command == "chaos":
+            return _chaos(args)
         elif args.command == "stats":
             return _stats(args)
         elif args.command == "trace":

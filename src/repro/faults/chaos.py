@@ -1,0 +1,178 @@
+"""Chaos runs: the same experiment, clean and faulted, must not differ.
+
+This is the checkable form of the repo's robustness claim.  A chaos run
+executes one experiment twice — once with injection forced off, once
+under a :class:`~repro.faults.plan.FaultPlan` — through the *full*
+production path (parallel prewarm pool, persistent stream cache, figure
+regeneration), each against its own isolated cache directory, and then
+holds the faulted run to three standards:
+
+1. **bit-identical artifact**: the rendered figure (table, notes and the
+   raw series as JSON) must match the clean run byte for byte;
+2. **every fault handled**: each injected fault — and each deterministic
+   plan spec, which covers worker crashes whose in-worker records die
+   with the worker — must be matched by a ``faults.handled`` recovery
+   event at the same site in the run manifest;
+3. **equal evaluation counters**: the replay-path and invariant counter
+   sections of the two manifests must be identical — chaos may cost
+   extra walks and retries, but it may never change *how results are
+   computed*.
+
+``repro chaos --plan plan.json`` is the CLI entry point; both manifests
+and artifacts are written under ``--out`` for post-mortems.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro import faults, telemetry
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+
+__all__ = ["ChaosReport", "render_artifact", "run_chaos"]
+
+
+@dataclass
+class ChaosReport:
+    """Everything ``repro chaos`` prints and exits on."""
+
+    experiment_id: str
+    out_dir: Path
+    identical: bool
+    injected: list = field(default_factory=list)   # faults.injected records
+    handled_sites: set = field(default_factory=set)
+    kinds: set = field(default_factory=set)        # distinct fault kinds fired
+    problems: list = field(default_factory=list)   # human-readable failures
+    artifact_diff: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.identical and not self.problems
+
+
+def render_artifact(result) -> str:
+    """A run's artifact as deterministic text (table + notes + series).
+
+    Byte-compared between clean and faulted runs, so everything here must
+    be a pure function of the result — no timestamps, no paths.
+    """
+    series = json.dumps(result.series, indent=2, sort_keys=True, default=float)
+    out = (
+        f"# {result.experiment_id}: {result.title}\n\n"
+        f"```\n{result.table}\n```\n\n"
+    )
+    if result.notes:
+        out += result.notes + "\n\n"
+    return out + "## series\n\n```json\n" + series + "\n```\n"
+
+
+def _one_run(experiment_id: str, config, workloads, out_dir: Path, label: str,
+             plan: "FaultPlan | None", workers: int) -> tuple[str, dict]:
+    """One full pipeline pass; returns (artifact text, manifest dict)."""
+    from repro.experiments import clear_cache, run_experiment
+    from repro.sim.parallel import prewarm_streams
+    from repro.sim.runner import ExperimentRunner
+
+    run_dir = out_dir / label
+    cfg = replace(config, stream_cache=str(run_dir / "cache"), faults=None)
+    clear_cache()
+    try:
+        with faults.scope(plan):
+            with telemetry.session(force=True, label=f"chaos-{label}") as sess:
+                names = tuple(workloads) if workloads else None
+                if names is None or len(names) > 1:
+                    # Cold prewarm through the pool: this is where worker
+                    # crash/hang/pool faults get their chance to fire.
+                    runner = ExperimentRunner(cfg)
+                    prewarm_streams(
+                        runner, names or _experiment_workloads(), workers=workers
+                    )
+                kwargs = {"workloads": names} if names else {}
+                result = run_experiment(experiment_id, cfg, **kwargs)
+            manifest_path = telemetry.write_manifest(
+                run_dir, sess, config=cfg, experiments=[experiment_id]
+            )
+    finally:
+        clear_cache()
+    artifact = render_artifact(result)
+    (run_dir / "artifact.md").write_text(artifact)
+    return artifact, telemetry.load_manifest(manifest_path)
+
+
+def _experiment_workloads():
+    from repro.workloads import PAPER_WORKLOADS
+
+    return PAPER_WORKLOADS
+
+
+def run_chaos(experiment_id: str, config, plan: FaultPlan, out_dir: "str | Path",
+              workloads=None, workers: int = 2) -> ChaosReport:
+    """Run ``experiment_id`` clean and faulted; verify they cannot be told
+    apart by their artifacts.  See the module docstring for the checks."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    clean_artifact, clean_manifest = _one_run(
+        experiment_id, config, workloads, out_dir, "baseline", None, workers
+    )
+    injector = FaultInjector(plan)
+    faulted_artifact, faulted_manifest = _one_run(
+        experiment_id, config, workloads, out_dir, "faulted", injector, workers
+    )
+
+    report = ChaosReport(
+        experiment_id=experiment_id,
+        out_dir=out_dir,
+        identical=faulted_artifact == clean_artifact,
+    )
+    if not report.identical:
+        report.artifact_diff = list(
+            difflib.unified_diff(
+                clean_artifact.splitlines(), faulted_artifact.splitlines(),
+                "baseline/artifact.md", "faulted/artifact.md", lineterm="", n=1,
+            )
+        )[:40]
+        report.problems.append("faulted artifact differs from the baseline")
+
+    events = faulted_manifest.get("events", [])
+    report.injected = [e for e in events if e.get("name") == "faults.injected"]
+    report.handled_sites = {
+        e.get("site") for e in events if e.get("name") == "faults.handled"
+    }
+    report.kinds = {e.get("kind") for e in report.injected}
+
+    # Every injected fault must have been recovered from at its site.
+    for record in report.injected:
+        if record.get("site") not in report.handled_sites:
+            report.problems.append(
+                f"injected fault at {record.get('site')} "
+                f"({record.get('kind')}, key={record.get('key')}) "
+                f"has no faults.handled event"
+            )
+    # Deterministic specs are *known* to have fired even when the firing
+    # process died before it could report (worker crash): hold them to the
+    # same standard via the parent-side recovery record.
+    for spec in plan.faults:
+        if not spec.hits:
+            continue
+        if spec.site in report.handled_sites:
+            report.kinds.add(spec.kind)
+        else:
+            report.problems.append(
+                f"planned fault {spec.kind!r} at {spec.site} "
+                f"(match={spec.match}) left no faults.handled event"
+            )
+
+    # Chaos may add walks and retries, never change evaluation behaviour.
+    for section in ("replay", "invariants"):
+        clean = clean_manifest.get("summary", {}).get(section)
+        faulted = faulted_manifest.get("summary", {}).get(section)
+        if clean != faulted:
+            report.problems.append(
+                f"summary[{section!r}] differs: clean {clean} vs faulted {faulted}"
+            )
+    return report

@@ -19,6 +19,9 @@ Environment knobs honoured by the benchmark/experiment layer:
 ``REPRO_TELEMETRY``
     Enable telemetry collection (spans, metrics, run manifests); see
     :mod:`repro.telemetry`.
+``REPRO_FAULTS``
+    Path to a fault-injection plan (chaos testing); see
+    :mod:`repro.faults`.
 """
 
 from __future__ import annotations
@@ -99,6 +102,12 @@ class SimConfig:
     #: like ``checked`` it is excluded from comparisons and from
     #: :meth:`cache_key`.  ``REPRO_TELEMETRY=1`` enables it globally.
     telemetry: bool = field(default=False, compare=False)
+    #: Opt-in fault injection: path to a :mod:`repro.faults` plan JSON.
+    #: Chaos is an environment property, not a trajectory property — the
+    #: whole point is that faulted results must equal clean ones — so like
+    #: ``checked`` it is excluded from comparisons and from
+    #: :meth:`cache_key`.  ``REPRO_FAULTS=plan.json`` enables it globally.
+    faults: "str | None" = field(default=None, compare=False)
     extra: dict = field(default_factory=dict, compare=False)
 
     def __post_init__(self) -> None:

@@ -24,10 +24,12 @@ Typical use (this is what the benchmark harness does under
 from __future__ import annotations
 
 import os
+import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 
-from repro import telemetry
+from repro import faults, telemetry
 from repro.hierarchy.events import OutcomeStream
 from repro.hierarchy.inclusion import InclusionPolicy
 from repro.sim.config import SimConfig
@@ -37,7 +39,15 @@ from repro.sim.streamcache import resolve_cache, stream_key
 from repro.util.validation import check_positive
 from repro.workloads import get_workload
 
-__all__ = ["walk_one", "walk_one_traced", "prewarm_streams", "default_workers"]
+__all__ = ["walk_one", "walk_one_traced", "prewarm_streams",
+           "default_workers", "default_worker_timeout"]
+
+#: Environment override for the per-worker prewarm timeout (seconds).
+WORKER_TIMEOUT_ENV = "REPRO_WORKER_TIMEOUT"
+
+#: Generous default: a content walk is minutes at most; a worker silent
+#: for this long is treated as lost and its shard re-runs serially.
+DEFAULT_WORKER_TIMEOUT_S = 600.0
 
 
 def default_workers() -> int:
@@ -62,6 +72,54 @@ def default_workers() -> int:
     return max(1, (os.cpu_count() or 2) - 1)
 
 
+def default_worker_timeout() -> float:
+    """Per-worker result timeout: active fault plan, env, else the default.
+
+    A fault plan's ``worker_timeout_s`` wins (chaos tests shrink it so a
+    ``hang`` fault converts to a timeout in seconds, not minutes), then
+    ``REPRO_WORKER_TIMEOUT``, then :data:`DEFAULT_WORKER_TIMEOUT_S`.  A
+    non-numeric env value warns and falls back, same contract as
+    ``REPRO_PARALLEL``.
+    """
+    injector = faults.current()
+    if injector is not None and injector.plan.worker_timeout_s is not None:
+        return injector.plan.worker_timeout_s
+    env = os.environ.get(WORKER_TIMEOUT_ENV)
+    if env:
+        try:
+            return float(env)
+        except ValueError:
+            telemetry.event("parallel.bad_env", value=env)
+            warnings.warn(
+                f"ignoring non-numeric {WORKER_TIMEOUT_ENV}={env!r}; "
+                f"falling back to {DEFAULT_WORKER_TIMEOUT_S:.0f}s",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return DEFAULT_WORKER_TIMEOUT_S
+
+
+def _worker_faults(workload_name: str) -> None:
+    """The ``parallel.worker`` fault site, applied at worker entry.
+
+    ``crash`` dies without cleanup (``os._exit`` — the pool reports a
+    broken executor, exactly like an OOM-killed worker), ``hang`` stalls
+    past the parent's timeout, ``exception`` raises.  All three must be
+    absorbed by :func:`prewarm_streams`'s serial fallback.
+    """
+    fired = faults.check("parallel.worker", key=workload_name)
+    if fired is None:
+        return
+    if fired.kind == "crash":
+        os._exit(23)
+    elif fired.kind == "hang":
+        time.sleep(float(fired.spec.param("sleep_s", 60.0)))
+    elif fired.kind == "exception":
+        raise faults.InjectedWorkerError(
+            f"injected worker exception for {workload_name!r}"
+        )
+
+
 def walk_one(config: SimConfig, workload_name: str,
              policy: str | None = None) -> tuple[str, str, OutcomeStream]:
     """Worker entry point: build the workload and run one content walk.
@@ -69,6 +127,7 @@ def walk_one(config: SimConfig, workload_name: str,
     Module-level (picklable) by design.  Returns the key material the
     parent needs to slot the stream into a runner cache.
     """
+    _worker_faults(workload_name)
     cfg = config if policy is None else config.with_policy(policy)
     with telemetry.span("workload_build", workload=workload_name):
         workload = get_workload(
@@ -90,11 +149,31 @@ def walk_one_traced(config: SimConfig, workload_name: str,
     return name, pol, stream, snapshot
 
 
+def _serial_rerun(runner: ExperimentRunner, name: str, policy, reason: str,
+                  out: dict) -> None:
+    """Degradation path: a shard lost to the pool re-executes serially.
+
+    The re-run goes through :meth:`ExperimentRunner.stream`, so it still
+    consults the disk cache and writes its result back — a recovered
+    shard is indistinguishable from one that was never lost.
+    """
+    telemetry.count("parallel.worker_lost")
+    faults.handled("parallel.worker", "serial_fallback",
+                   workload=name, reason=reason)
+    warnings.warn(
+        f"prewarm worker for {name!r} {reason}; re-running the shard serially",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    out[name] = runner.stream(name, policy=policy)
+
+
 def prewarm_streams(
     runner: ExperimentRunner,
     workload_names,
     policy: InclusionPolicy | str | None = None,
     workers: int | None = None,
+    timeout_s: float | None = None,
 ) -> dict[str, OutcomeStream]:
     """Fill the runner's stream cache using a process pool.
 
@@ -104,6 +183,14 @@ def prewarm_streams(
     cache — or loadable from the persistent disk cache, when one is
     enabled — are served from it and never re-walked, so a warm prewarm
     spawns no pool at all.
+
+    The pool is allowed to misbehave: a worker that dies without returning
+    a snapshot (crash, OOM kill, injected fault), hangs past ``timeout_s``
+    (default :func:`default_worker_timeout`), or raises, loses only its
+    own shard — the shard re-executes serially in the parent with a
+    structured ``faults.handled`` warning, so the returned streams are
+    always complete and bit-identical to a serial prewarm.  Even a pool
+    that cannot spawn at all degrades to the serial path.
     """
     names = [n for n in workload_names]
     nworkers = workers if workers is not None else default_workers()
@@ -137,21 +224,63 @@ def prewarm_streams(
     # prewarm reports the same aggregate counters a serial one would.
     traced = telemetry.active() is not None
     worker_fn = walk_one_traced if traced else walk_one
+    timeout = timeout_s if timeout_s is not None else default_worker_timeout()
     with telemetry.span("prewarm", workloads=len(pending), workers=nworkers):
+        try:
+            fired = faults.check("parallel.pool")
+            if fired is not None and fired.kind == "spawn_fail":
+                raise faults.InjectedFault(11, "injected pool spawn failure")
+            pool = ProcessPoolExecutor(max_workers=min(nworkers, len(pending)))
+        except OSError as exc:
+            # No pool at all (fork limits, injected spawn failure): run
+            # every pending shard serially — slower, never wrong.
+            faults.handled("parallel.pool", "serial_all",
+                           workloads=len(pending),
+                           error=f"{exc.__class__.__name__}: {exc}")
+            warnings.warn(
+                f"prewarm pool failed to spawn ({exc}); walking "
+                f"{len(pending)} workload(s) serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            for name in pending:
+                out[name] = runner.stream(name, policy=policy)
+            return out
         telemetry.count("parallel.pools")
-        with ProcessPoolExecutor(max_workers=min(nworkers, len(pending))) as pool:
+        lost: list[tuple[str, str]] = []
+        abandoned = False  # a hung/dead worker: never block on shutdown
+        try:
             futures = [
-                pool.submit(worker_fn, runner.config, name, pol) for name in pending
+                (name, pool.submit(worker_fn, runner.config, name, pol))
+                for name in pending
             ]
-            for fut in futures:
+            for name, fut in futures:
+                try:
+                    result = fut.result(timeout=timeout)
+                except FutureTimeoutError:
+                    lost.append((name, f"timed out after {timeout:g}s"))
+                    abandoned = True
+                    continue
+                except BrokenExecutor:
+                    lost.append((name, "died without returning a snapshot "
+                                       "(process pool broken)"))
+                    abandoned = True
+                    continue
+                except Exception as exc:
+                    lost.append((name, f"raised {exc.__class__.__name__}: {exc}"))
+                    continue
                 if traced:
-                    name, _pol, stream, snapshot = fut.result()
+                    name, _pol, stream, snapshot = result
                     telemetry.merge_snapshot(snapshot)
                 else:
-                    name, _pol, stream = fut.result()
+                    name, _pol, stream = result
                 key = (name, *cfg.cache_key())
                 runner._streams[key] = stream
                 out[name] = stream
                 if disk is not None:
                     disk.save(stream_key(name, cfg), stream)
+        finally:
+            pool.shutdown(wait=not abandoned, cancel_futures=True)
+        for name, reason in lost:
+            _serial_rerun(runner, name, policy, reason, out)
     return out

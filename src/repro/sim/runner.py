@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro import checking, telemetry
+from repro import checking, faults, telemetry
 from repro.hierarchy.events import OutcomeStream
 from repro.hierarchy.inclusion import InclusionPolicy
 from repro.predictors.base import SchemeSpec
@@ -45,6 +45,10 @@ class ExperimentRunner:
         # use; the CLI and bench harness manage their own scoped sessions.
         if telemetry.enabled(self.config) and telemetry.active() is None:
             telemetry.start(label=f"runner-{self.config.machine.name}")
+        # Same pattern for fault injection: a config that names a plan
+        # (SimConfig(faults="plan.json")) activates it unless a scoped
+        # injector (repro chaos, the test suite) is already installed.
+        faults.ensure(self.config)
 
     # ------------------------------------------------------------ workloads
     def add_workload(self, workload: Workload) -> str:

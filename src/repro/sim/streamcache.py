@@ -42,7 +42,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import telemetry
+from repro import faults, telemetry
 from repro.hierarchy.events import OutcomeStream
 
 __all__ = [
@@ -141,8 +141,18 @@ class StreamCache:
         return self.directory / f"{human[:80]}-{digest}.npz"
 
     # --------------------------------------------------------------- save
-    def save(self, key: tuple, stream: OutcomeStream) -> Path:
-        """Persist ``stream`` under ``key`` (atomic: write + rename)."""
+    def save(self, key: tuple, stream: OutcomeStream) -> "Path | None":
+        """Persist ``stream`` under ``key``; returns ``None`` on give-up.
+
+        The write is atomic — bytes go to a uniquely named temp file
+        (outside the ``*.npz`` namespace, so a killed writer never leaves
+        a half entry *or* a phantom ``ls`` row) and ``os.replace`` makes
+        the entry visible only once complete.  Write failures (ENOSPC, an
+        injected ``streamcache.save`` fault) are retried under the bounded
+        deterministic-backoff policy; when every attempt fails the save is
+        skipped with a warning — a cache is an accelerator, never a
+        correctness dependency, so the run continues uncached.
+        """
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.path_for(key)
         meta = json.dumps(
@@ -157,11 +167,54 @@ class StreamCache:
             name: np.ascontiguousarray(getattr(stream, name), dtype=dtype)
             for name, dtype in _ARRAY_FIELDS
         }
-        tmp = path.with_suffix(".tmp.npz")
-        with open(tmp, "wb") as fh:
-            np.savez_compressed(fh, meta=np.frombuffer(meta.encode(), dtype=np.uint8),
-                                **arrays)
-        os.replace(tmp, path)
+        policy = faults.retry_policy()
+        try:
+            return faults.run_with_retries(
+                "streamcache.save",
+                lambda: self._write_entry(path, key, meta, arrays),
+                policy,
+                retriable=(OSError,),
+                detail=path.name,
+            )
+        except faults.RetryExhausted as exc:
+            faults.handled("streamcache.save", "skipped_save",
+                           entry=path.name, error=str(exc.last))
+            warnings.warn(
+                f"stream-cache save of {path.name} failed after "
+                f"{policy.attempts} attempts ({exc.last}); continuing uncached",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+
+    def _write_entry(self, path: Path, key: tuple, meta: str, arrays: dict) -> Path:
+        """One atomic write attempt (the ``streamcache.save`` fault site)."""
+        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        fired = faults.check("streamcache.save", key=str(key[0]))
+        try:
+            if fired is not None and fired.kind == "enospc":
+                raise faults.InjectedFault(
+                    28, f"injected ENOSPC writing {tmp.name}"  # errno.ENOSPC
+                )
+            with open(tmp, "wb") as fh:
+                np.savez_compressed(
+                    fh, meta=np.frombuffer(meta.encode(), dtype=np.uint8), **arrays
+                )
+            if fired is not None and fired.kind == "partial_write":
+                # A writer killed mid-flush: the temp file is truncated and
+                # the rename never happens — the entry must stay invisible.
+                data = tmp.read_bytes()
+                tmp.write_bytes(data[: len(data) // 2])
+                raise faults.InjectedFault(
+                    5, f"injected crash mid-write of {tmp.name}"  # errno.EIO
+                )
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
         telemetry.count("stream_cache.save")
         return path
 
@@ -180,7 +233,20 @@ class StreamCache:
             telemetry.count("stream_cache.miss")
             return None
         try:
-            stream, meta = self._read(path)
+            # Transient I/O errors (including injected ``io_error`` faults)
+            # are retried under the bounded deterministic-backoff policy;
+            # anything else — corrupt zip, bad dtype, missing field — is a
+            # permanent fault and falls straight through to the discard.
+            stream, meta = faults.run_with_retries(
+                "streamcache.load",
+                lambda: self._read_checked(path, key),
+                faults.retry_policy(),
+                retriable=(OSError,),
+                detail=path.name,
+            )
+        except faults.RetryExhausted as exc:
+            self._discard(path, f"unreadable after retries ({exc.last})")
+            return None
         except Exception as exc:  # corrupt zip, bad dtype, missing field…
             self._discard(path, f"unreadable ({exc.__class__.__name__}: {exc})")
             return None
@@ -192,6 +258,23 @@ class StreamCache:
             return None
         telemetry.count("stream_cache.hit")
         return stream
+
+    def _read_checked(self, path: Path, key: tuple) -> tuple[OutcomeStream, dict]:
+        """One read attempt (the ``streamcache.load`` fault site).
+
+        ``io_error`` raises a transient :class:`OSError` (retried);
+        ``corrupt`` / ``short_read`` damage the on-disk entry itself, so
+        the read fails permanently and the discard-and-re-walk recovery
+        path runs — exactly what a real bad sector produces.
+        """
+        fired = faults.check("streamcache.load", key=str(key[0]))
+        if fired is not None:
+            if fired.kind == "io_error":
+                raise faults.InjectedFault(
+                    5, f"injected transient read error on {path.name}"
+                )
+            faults.damage_file(path, fired)
+        return self._read(path)
 
     def _read(self, path: Path) -> tuple[OutcomeStream, dict]:
         with np.load(path) as data:
@@ -216,9 +299,13 @@ class StreamCache:
 
     def _discard(self, path: Path, reason: str) -> None:
         # Structured event + counter for the manifest; the warning stays
-        # for callers that only watch the warnings stream.
+        # for callers that only watch the warnings stream.  This *is* the
+        # recovery path for a bad entry — the caller re-walks — so it is
+        # also recorded as a handled fault.
         telemetry.count("stream_cache.reject")
         telemetry.event("stream_cache.discard", entry=path.name, reason=reason)
+        faults.handled("streamcache.load", "discard_rewalk",
+                       entry=path.name, reason=reason)
         warnings.warn(
             f"discarding stream-cache entry {path.name}: {reason}",
             RuntimeWarning,
@@ -279,14 +366,40 @@ class StreamCache:
         return ok, bad
 
     def clear(self) -> int:
-        """Delete every cache file; returns the number removed."""
+        """Delete every cache file; returns the number removed.
+
+        Also sweeps ``*.npz.tmp-*`` leftovers from writers that died
+        before their atomic rename (they are invisible to ``ls`` and
+        ``verify`` but still hold disk space).
+        """
         removed = 0
         if not self.directory.is_dir():
             return removed
-        for path in self.directory.glob("*.npz"):
+        for pattern in ("*.npz", "*.npz.tmp-*"):
+            for path in self.directory.glob(pattern):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def discard_bad(self) -> list[Path]:
+        """Delete every entry :meth:`verify` flags; returns what was removed.
+
+        The mutating companion to the read-only audit — ``repro cache
+        verify --discard`` uses it so a cache poisoned by a crash can be
+        repaired in one command (and still exits non-zero, so CI notices).
+        """
+        _ok, bad = self.verify()
+        removed = []
+        for path in bad:
             try:
                 path.unlink()
-                removed += 1
+                removed.append(path)
             except OSError:
                 pass
+            telemetry.count("stream_cache.reject")
+            telemetry.event("stream_cache.discard", entry=path.name,
+                            reason="failed verify (--discard)")
         return removed

@@ -113,6 +113,7 @@ def _config_dict(config) -> dict:
         "cache_key": list(config.cache_key()),
         "checked": bool(getattr(config, "checked", False)),
         "stream_cache": getattr(config, "stream_cache", None),
+        "faults": getattr(config, "faults", None),
         "fill_energy_weight": config.fill_energy_weight,
         "memory_latency": config.memory_latency,
         "memory_energy_nj": config.memory_energy_nj,
@@ -148,6 +149,15 @@ def _summarize(counters: dict) -> dict:
             "inclusion_sweeps": total("invariants.inclusion_sweeps"),
             "result_checks": total("invariants.result_checks"),
             "violations": total("invariants.violations"),
+        },
+        # Fault injection & recovery (repro.faults): injected faults are
+        # counted via their structured events; "handled" counts every
+        # executed recovery path, injected or organic.
+        "faults": {
+            "injected": total("events.faults.injected"),
+            "handled": total("faults.handled"),
+            "retries": total("faults.retries"),
+            "workers_lost": total("parallel.worker_lost"),
         },
     }
 

@@ -5,15 +5,30 @@ simulator; this module provides the same decoupling — generate a workload
 once, save it, and replay it across many scheme evaluations.  Format is a
 single compressed ``.npz`` holding every core's arrays plus a metadata
 record, so a saved workload is one portable file.
+
+Robustness contract (see DESIGN.md, "Fault model & recovery policies"):
+saves are atomic (unique temp file + ``os.replace``, so a killed writer
+never leaves a half trace under the final name), and loads retry
+transient failures — short reads of a file still being replaced, or an
+injected ``tracefile.load`` fault — under the bounded deterministic-
+backoff policy before giving up with a :class:`ConfigError`.  The read
+buffer is snapshotted per attempt, so a short read on attempt one and a
+clean re-read on attempt two yields a workload bit-identical to an
+unfaulted load.
 """
 
 from __future__ import annotations
 
+import io
 import json
+import os
+import zipfile
+import zlib
 from pathlib import Path
 
 import numpy as np
 
+from repro import faults
 from repro.util.validation import ConfigError
 from repro.workloads.trace import Trace, Workload
 
@@ -21,9 +36,18 @@ __all__ = ["save_workload", "load_workload"]
 
 _FORMAT_VERSION = 1
 
+#: Failures worth retrying: transient I/O plus the decode errors a
+#: truncated/short read produces.  Semantic problems (wrong version,
+#: missing meta) raise ConfigError directly and are never retried.
+_TRANSIENT = (OSError, zipfile.BadZipFile, zlib.error, EOFError)
+
 
 def save_workload(workload: Workload, path: str | Path) -> Path:
-    """Write a workload to ``path`` (``.npz`` appended if missing)."""
+    """Write a workload to ``path`` (``.npz`` appended if missing).
+
+    Atomic: bytes land in a unique temp file and ``os.replace`` publishes
+    the trace only once complete.
+    """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
@@ -41,8 +65,60 @@ def save_workload(workload: Workload, path: str | Path) -> Path:
         arrays[f"gap_{i}"] = t.gap
         meta["traces"].append({"name": t.name, "cpi": t.cpi})
     arrays["meta"] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
-    np.savez_compressed(path, **arrays)
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
     return path
+
+
+def _read_buffer(path: Path) -> io.BytesIO:
+    """One read attempt (the ``tracefile.load`` fault site).
+
+    Faults are applied to the in-memory buffer, not the file — a short
+    read models a reader racing a writer, so re-reading recovers.
+    """
+    fired = faults.check("tracefile.load", key=path.name)
+    if fired is not None and fired.kind == "io_error":
+        raise faults.InjectedFault(
+            5, f"injected transient read error on {path.name}"
+        )
+    data = path.read_bytes()
+    if fired is not None and fired.kind == "short_read":
+        data = data[: len(data) // 2]
+    return io.BytesIO(data)
+
+
+def _parse(data) -> Workload:
+    """Decode one loaded npz into a Workload (semantic errors only)."""
+    try:
+        meta = json.loads(bytes(data["meta"].tobytes()).decode("utf-8"))
+    except KeyError:
+        raise ConfigError("not a repro trace file (no meta)") from None
+    if meta.get("version") != _FORMAT_VERSION:
+        raise ConfigError(
+            f"unsupported trace format version {meta.get('version')}"
+        )
+    traces = []
+    for i, tmeta in enumerate(meta["traces"]):
+        traces.append(
+            Trace(
+                name=tmeta["name"],
+                pc=data[f"pc_{i}"],
+                addr=data[f"addr_{i}"],
+                write=data[f"write_{i}"],
+                gap=data[f"gap_{i}"],
+                cpi=tmeta["cpi"],
+            )
+        )
+    return Workload(name=meta["name"], traces=tuple(traces))
 
 
 def load_workload(path: str | Path) -> Workload:
@@ -50,25 +126,20 @@ def load_workload(path: str | Path) -> Workload:
     path = Path(path)
     if not path.exists():
         raise ConfigError(f"trace file {path} does not exist")
-    with np.load(path) as data:
-        try:
-            meta = json.loads(bytes(data["meta"].tobytes()).decode("utf-8"))
-        except KeyError:
-            raise ConfigError(f"{path} is not a repro trace file (no meta)") from None
-        if meta.get("version") != _FORMAT_VERSION:
-            raise ConfigError(
-                f"{path}: unsupported trace format version {meta.get('version')}"
-            )
-        traces = []
-        for i, tmeta in enumerate(meta["traces"]):
-            traces.append(
-                Trace(
-                    name=tmeta["name"],
-                    pc=data[f"pc_{i}"],
-                    addr=data[f"addr_{i}"],
-                    write=data[f"write_{i}"],
-                    gap=data[f"gap_{i}"],
-                    cpi=tmeta["cpi"],
-                )
-            )
-    return Workload(name=meta["name"], traces=tuple(traces))
+
+    def attempt() -> Workload:
+        with np.load(_read_buffer(path)) as data:
+            return _parse(data)
+
+    try:
+        return faults.run_with_retries(
+            "tracefile.load", attempt, faults.retry_policy(),
+            retriable=_TRANSIENT, detail=path.name,
+        )
+    except faults.RetryExhausted as exc:
+        raise ConfigError(
+            f"{path}: unreadable after {faults.retry_policy().attempts} "
+            f"attempts ({exc.last.__class__.__name__}: {exc.last})"
+        ) from None
+    except ConfigError as exc:
+        raise ConfigError(f"{path}: {exc}") from None

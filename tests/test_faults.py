@@ -1,0 +1,540 @@
+"""Fault injection & recovery: chaos must be invisible in the results.
+
+Three layers under test (see :mod:`repro.faults` and DESIGN.md's "Fault
+model & recovery policies"):
+
+* the *injector* itself — same plan + seed fires the same faults at the
+  same sites regardless of scheduling (golden-pinned fault log, key-order
+  independence of probability streams), and the ``REPRO_FAULTS`` /
+  ``SimConfig(faults=...)`` wiring never leaks into cache identity;
+* each *site + recovery policy* pair — corrupt/short-read/transient-IO
+  cache loads, ENOSPC/partial cache writes, worker crash/hang/exception
+  and pool spawn failure, trace-file short reads — every one must end in
+  results bit-identical to a clean run;
+* the *chaos harness* — ``run_chaos`` on the committed plan
+  (``tests/golden/chaos_plan.json``) regenerates a fig6 slice with and
+  without faults and proves the artifacts byte-equal, which is the
+  acceptance gate CI's chaos-smoke job re-runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import faults, telemetry
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    RetryPolicy,
+)
+from repro.sim.config import SimConfig
+from repro.sim.parallel import default_worker_timeout, prewarm_streams
+from repro.sim.runner import ExperimentRunner
+from repro.sim.streamcache import StreamCache, resolve_cache, stream_key
+from repro.util.validation import ConfigError
+from repro.workloads import get_workload
+from repro.workloads.tracefile import load_workload, save_workload
+
+pytestmark = pytest.mark.filterwarnings("ignore::RuntimeWarning")
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+CHAOS_PLAN = GOLDEN_DIR / "chaos_plan.json"
+
+#: Retry policy used throughout: no real sleeping in unit tests.
+FAST_RETRY = RetryPolicy(attempts=3, backoff_s=0.0)
+
+
+def plan_of(*specs, seed=7, **kwargs) -> FaultPlan:
+    return FaultPlan(faults=tuple(specs), seed=seed,
+                     retry=FAST_RETRY, **kwargs)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_injector():
+    """A test that forgets to scope its injector must not poison the next."""
+    yield
+    faults.uninstall()
+
+
+@pytest.fixture
+def cached_config(tiny_machine, tmp_path):
+    return SimConfig(machine=tiny_machine, refs_per_core=1500, seed=7,
+                     stream_cache=str(tmp_path / "cache"))
+
+
+# ======================================================== plan validation
+class TestPlan:
+    def test_round_trip(self):
+        plan = plan_of(
+            FaultSpec(site="streamcache.load", kind="corrupt",
+                      match="mcf", hits=[1, 3]),
+            FaultSpec(site="parallel.worker", kind="hang",
+                      probability=0.25, max_fires=2,
+                      params={"sleep_s": 1.5}),
+            worker_timeout_s=9.0,
+        )
+        again = FaultPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+        assert again == plan
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigError, match="unknown fault site"):
+            FaultSpec(site="nope.nope", kind="corrupt", hits=[1])
+
+    def test_kind_must_match_site(self):
+        with pytest.raises(ConfigError, match="not valid at site"):
+            FaultSpec(site="streamcache.save", kind="crash", hits=[1])
+
+    def test_exactly_one_trigger(self):
+        with pytest.raises(ConfigError, match="exactly one trigger"):
+            FaultSpec(site="streamcache.load", kind="corrupt",
+                      hits=[1], probability=0.5)
+        with pytest.raises(ConfigError, match="exactly one trigger"):
+            FaultSpec(site="streamcache.load", kind="corrupt")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigError, match="unknown fault-spec fields"):
+            FaultSpec.from_dict({"site": "streamcache.load",
+                                 "kind": "corrupt", "hits": [1], "when": 3})
+
+    def test_committed_chaos_plan_loads(self):
+        plan = faults.load_plan(CHAOS_PLAN)
+        assert len(plan.faults) >= 3
+        assert len({s.kind for s in plan.faults}) >= 3
+
+
+# ================================================== injection determinism
+class TestInjectorDeterminism:
+    def _run_script(self, plan, script):
+        injector = FaultInjector(plan)
+        for site, key in script:
+            injector.check(site, key)
+        return injector.log
+
+    def test_fault_log_matches_golden(self):
+        """The committed plan, replayed over a scripted hit sequence,
+        fires exactly the golden-pinned log — regenerate fault_log.json
+        only on an intentional injector-semantics change."""
+        golden = json.loads((GOLDEN_DIR / "fault_log.json").read_text())
+        plan = faults.load_plan(CHAOS_PLAN)
+        script = [tuple(s) for s in golden["script"]]
+        assert self._run_script(plan, script) == golden["log"]
+
+    def test_same_plan_same_seed_same_fires(self):
+        plan = plan_of(
+            FaultSpec(site="streamcache.load", kind="io_error",
+                      probability=0.5),
+        )
+        script = [("streamcache.load", k) for k in "abcab" for _ in range(3)]
+        assert self._run_script(plan, script) == self._run_script(plan, script)
+
+    def test_probability_is_key_order_independent(self):
+        """Per-key RNG streams: interleaving keys differently must not
+        change any key's decisions — the property that keeps injection
+        deterministic under pool scheduling."""
+        plan = plan_of(
+            FaultSpec(site="parallel.worker", kind="exception",
+                      probability=0.4),
+        )
+        keys = ["mcf", "lbm", "astar"]
+        seq_a = [("parallel.worker", k) for k in keys * 4]
+        seq_b = [("parallel.worker", k) for k in list(reversed(keys)) * 4]
+
+        def per_key(log):
+            out = {}
+            for rec in log:
+                out.setdefault(rec["key"], []).append(rec["hit"])
+            return out
+
+        assert per_key(self._run_script(plan, seq_a)) == \
+            per_key(self._run_script(plan, seq_b))
+
+    def test_hits_are_per_key(self):
+        plan = plan_of(
+            FaultSpec(site="streamcache.load", kind="corrupt", hits=[2]),
+        )
+        injector = FaultInjector(plan)
+        assert injector.check("streamcache.load", "a") is None
+        assert injector.check("streamcache.load", "b") is None
+        assert injector.check("streamcache.load", "a").kind == "corrupt"
+        assert injector.check("streamcache.load", "b").kind == "corrupt"
+
+    def test_max_fires_caps_probability_spec(self):
+        plan = plan_of(
+            FaultSpec(site="streamcache.load", kind="io_error",
+                      probability=1.0, max_fires=2),
+        )
+        injector = FaultInjector(plan)
+        fired = [injector.check("streamcache.load", "k") for _ in range(5)]
+        assert sum(f is not None for f in fired) == 2
+
+    def test_injected_events_reach_telemetry(self):
+        plan = plan_of(
+            FaultSpec(site="streamcache.load", kind="corrupt", hits=[1]),
+        )
+        with telemetry.session(force=True) as sess:
+            FaultInjector(plan).check("streamcache.load", "mcf")
+        assert sess.events[0]["name"] == "faults.injected"
+        assert sess.events[0]["site"] == "streamcache.load"
+        assert sess.registry.snapshot()["counters"]["events.faults.injected"] == 1
+
+
+# ====================================================== config/env wiring
+class TestWiring:
+    def test_faults_do_not_pollute_cache_identity(self, tiny_machine, tmp_path):
+        plain = SimConfig(machine=tiny_machine, refs_per_core=1000, seed=3)
+        chaotic = SimConfig(machine=tiny_machine, refs_per_core=1000, seed=3,
+                            faults=str(tmp_path / "plan.json"))
+        assert plain.cache_key() == chaotic.cache_key()
+        assert plain == chaotic  # compare=False, like checked/telemetry
+
+    def test_env_round_trip(self, tmp_path, monkeypatch):
+        path = tmp_path / "plan.json"
+        path.write_text(plan_of(
+            FaultSpec(site="tracefile.load", kind="short_read", hits=[1]),
+        ).to_json())
+        monkeypatch.setenv(faults.FAULTS_ENV, str(path))
+        injector = faults.current()
+        assert injector is not None
+        assert injector.plan.faults[0].site == "tracefile.load"
+        assert faults.current() is injector  # cached while env is stable
+        monkeypatch.setenv(faults.FAULTS_ENV, "0")
+        assert faults.current() is None
+
+    def test_config_plan_installed_by_runner(self, tiny_machine, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(plan_of(
+            FaultSpec(site="streamcache.save", kind="enospc", hits=[99]),
+        ).to_json())
+        cfg = SimConfig(machine=tiny_machine, refs_per_core=1000, seed=3,
+                        faults=str(path))
+        try:
+            ExperimentRunner(cfg)
+            assert faults.current() is not None
+            assert faults.retry_policy() == FAST_RETRY
+        finally:
+            faults.uninstall()
+
+    def test_manifest_records_plan_path(self, tiny_machine):
+        from repro.telemetry.manifest import _config_dict
+
+        cfg = SimConfig(machine=tiny_machine, refs_per_core=1000, seed=3,
+                        faults="plan.json")
+        assert _config_dict(cfg)["faults"] == "plan.json"
+        assert "plan.json" not in _config_dict(cfg)["cache_key"]
+
+
+# ================================================ stream-cache fault sites
+class TestStreamCacheFaults:
+    def _warm(self, config, name="mcf"):
+        return ExperimentRunner(config).stream(name)
+
+    def test_corrupt_on_load_rewalks_identically(self, cached_config):
+        clean = self._warm(cached_config)
+        plan = plan_of(FaultSpec(site="streamcache.load", kind="corrupt",
+                                 match="mcf", hits=[1]))
+        with faults.scope(plan) as injector, \
+                telemetry.session(force=True) as sess:
+            again = ExperimentRunner(cached_config).stream("mcf")
+            assert injector.fired_kinds() == {"corrupt"}
+        assert again.fingerprint() == clean.fingerprint()
+        names = [e["name"] for e in sess.events]
+        assert "faults.injected" in names and "faults.handled" in names
+        handled = [e for e in sess.events if e["name"] == "faults.handled"]
+        assert handled[0]["site"] == "streamcache.load"
+        assert handled[0]["action"] == "discard_rewalk"
+        # The re-walk re-cached a good entry.
+        cache = resolve_cache(cached_config)
+        assert cache.load(stream_key("mcf", cached_config)) is not None
+
+    def test_short_read_on_load_rewalks_identically(self, cached_config):
+        clean = self._warm(cached_config)
+        plan = plan_of(FaultSpec(site="streamcache.load", kind="short_read",
+                                 match="mcf", hits=[1]))
+        with faults.scope(plan):
+            again = ExperimentRunner(cached_config).stream("mcf")
+        assert again.fingerprint() == clean.fingerprint()
+
+    def test_transient_io_error_retried_entry_survives(self, cached_config):
+        clean = self._warm(cached_config)
+        cache = resolve_cache(cached_config)
+        key = stream_key("mcf", cached_config)
+        plan = plan_of(FaultSpec(site="streamcache.load", kind="io_error",
+                                 match="mcf", hits=[1]))
+        with faults.scope(plan), telemetry.session(force=True) as sess:
+            loaded = cache.load(key)
+        assert loaded is not None  # retry recovered, no re-walk needed
+        assert loaded.fingerprint() == clean.fingerprint()
+        assert cache.path_for(key).exists()  # never discarded
+        handled = [e for e in sess.events if e["name"] == "faults.handled"]
+        assert handled and handled[0]["action"] == "retried"
+
+    def test_io_error_every_attempt_discards_and_rewalks(self, cached_config):
+        clean = self._warm(cached_config)
+        plan = plan_of(FaultSpec(site="streamcache.load", kind="io_error",
+                                 match="mcf", hits=[1, 2, 3]))
+        with faults.scope(plan):
+            with pytest.warns(RuntimeWarning, match="unreadable after retries"):
+                again = ExperimentRunner(cached_config).stream("mcf")
+        assert again.fingerprint() == clean.fingerprint()
+
+    def test_enospc_once_is_retried_to_success(self, cached_config):
+        plan = plan_of(FaultSpec(site="streamcache.save", kind="enospc",
+                                 match="mcf", hits=[1]))
+        with faults.scope(plan), telemetry.session(force=True) as sess:
+            self._warm(cached_config)
+        cache = resolve_cache(cached_config)
+        assert cache.load(stream_key("mcf", cached_config)) is not None
+        handled = [e for e in sess.events if e["name"] == "faults.handled"]
+        assert handled and handled[0]["action"] == "retried"
+
+    def test_enospc_every_attempt_skips_save_gracefully(self, cached_config):
+        plan = plan_of(FaultSpec(site="streamcache.save", kind="enospc",
+                                 match="mcf", hits=[1, 2, 3]))
+        with faults.scope(plan):
+            with pytest.warns(RuntimeWarning, match="continuing uncached"):
+                stream = self._warm(cached_config)
+        assert stream.num_accesses == cached_config.total_refs
+        cache = resolve_cache(cached_config)
+        assert cache.load(stream_key("mcf", cached_config)) is None  # miss
+        # A later clean run caches normally.
+        self._warm(cached_config)
+        assert cache.load(stream_key("mcf", cached_config)) is not None
+
+    def test_partial_write_never_leaves_a_visible_entry(self, cached_config):
+        plan = plan_of(FaultSpec(site="streamcache.save", kind="partial_write",
+                                 match="mcf", hits=[1, 2, 3]))
+        with faults.scope(plan):
+            with pytest.warns(RuntimeWarning, match="continuing uncached"):
+                self._warm(cached_config)
+        cache = resolve_cache(cached_config)
+        # Nothing half-written under the final name, nothing in ls/verify.
+        assert cache.entries() == []
+        ok, bad = cache.verify()
+        assert ok == [] and bad == []
+
+    def test_partial_write_retry_recovers(self, cached_config):
+        clean_fp = self._warm(
+            SimConfig(machine=cached_config.machine,
+                      refs_per_core=cached_config.refs_per_core,
+                      seed=cached_config.seed)
+        ).fingerprint()
+        plan = plan_of(FaultSpec(site="streamcache.save", kind="partial_write",
+                                 match="mcf", hits=[1]))
+        with faults.scope(plan):
+            self._warm(cached_config)
+        cache = resolve_cache(cached_config)
+        loaded = cache.load(stream_key("mcf", cached_config))
+        assert loaded is not None and loaded.fingerprint() == clean_fp
+
+
+# ==================================================== prewarm fault sites
+class TestPrewarmFaults:
+    WORKLOADS = ["mcf", "lbm"]
+
+    def _serial_fingerprints(self, config):
+        runner = ExperimentRunner(config)
+        return {n: runner.stream(n).fingerprint() for n in self.WORKLOADS}
+
+    def _assert_prewarm_matches_serial(self, config, plan, timeout_s=None):
+        baseline = self._serial_fingerprints(
+            SimConfig(machine=config.machine,
+                      refs_per_core=config.refs_per_core, seed=config.seed)
+        )
+        runner = ExperimentRunner(config)
+        with faults.scope(plan), telemetry.session(force=True) as sess:
+            out = prewarm_streams(runner, self.WORKLOADS, workers=2,
+                                  timeout_s=timeout_s)
+        assert {n: s.fingerprint() for n, s in out.items()} == baseline
+        return sess
+
+    def test_worker_crash_degrades_to_serial(self, cached_config):
+        """A worker killed mid-prewarm (os._exit, as the OOM killer would)
+        loses only its shard: the parent re-walks it serially and the
+        result is bit-identical to an all-serial prewarm."""
+        plan = plan_of(FaultSpec(site="parallel.worker", kind="crash",
+                                 match="mcf", hits=[1]))
+        sess = self._assert_prewarm_matches_serial(cached_config, plan)
+        handled = [e for e in sess.events if e["name"] == "faults.handled"]
+        assert any(e["site"] == "parallel.worker"
+                   and e["action"] == "serial_fallback" for e in handled)
+        counters = sess.registry.snapshot()["counters"]
+        assert counters["parallel.worker_lost"] >= 1
+
+    def test_worker_exception_degrades_to_serial(self, cached_config):
+        plan = plan_of(FaultSpec(site="parallel.worker", kind="exception",
+                                 match="lbm", hits=[1]))
+        sess = self._assert_prewarm_matches_serial(cached_config, plan)
+        handled = [e for e in sess.events if e["name"] == "faults.handled"]
+        reasons = [e["reason"] for e in handled
+                   if e["site"] == "parallel.worker"]
+        assert any("InjectedWorkerError" in r for r in reasons)
+
+    def test_worker_hang_times_out_into_serial(self, cached_config):
+        plan = plan_of(
+            FaultSpec(site="parallel.worker", kind="hang", match="mcf",
+                      hits=[1], params={"sleep_s": 5.0}),
+            worker_timeout_s=0.5,
+        )
+        assert default_worker_timeout() != 0.5  # plan override only in scope
+        sess = self._assert_prewarm_matches_serial(cached_config, plan)
+        handled = [e for e in sess.events if e["name"] == "faults.handled"]
+        reasons = [e["reason"] for e in handled
+                   if e["site"] == "parallel.worker"]
+        assert any("timed out" in r for r in reasons)
+
+    def test_pool_spawn_failure_runs_everything_serially(self, cached_config,
+                                                         monkeypatch):
+        plan = plan_of(FaultSpec(site="parallel.pool", kind="spawn_fail",
+                                 hits=[1]))
+        # Belt and braces: the pool must not even be constructed.
+        monkeypatch.setattr(
+            "repro.sim.parallel.ProcessPoolExecutor",
+            lambda *a, **k: (_ for _ in ()).throw(
+                AssertionError("pool constructed despite spawn_fail")),
+        )
+        baseline = self._serial_fingerprints(
+            SimConfig(machine=cached_config.machine,
+                      refs_per_core=cached_config.refs_per_core,
+                      seed=cached_config.seed)
+        )
+        runner = ExperimentRunner(cached_config)
+        with faults.scope(plan), telemetry.session(force=True) as sess:
+            out = prewarm_streams(runner, self.WORKLOADS, workers=4)
+        assert {n: s.fingerprint() for n, s in out.items()} == baseline
+        handled = [e for e in sess.events if e["name"] == "faults.handled"]
+        assert any(e["site"] == "parallel.pool" and e["action"] == "serial_all"
+                   for e in handled)
+
+    def test_worker_timeout_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKER_TIMEOUT", "12.5")
+        assert default_worker_timeout() == 12.5
+        monkeypatch.setenv("REPRO_WORKER_TIMEOUT", "soon")
+        with pytest.warns(RuntimeWarning, match="non-numeric"):
+            assert default_worker_timeout() == 600.0
+
+
+# =================================================== trace-file fault site
+class TestTracefileFaults:
+    def _saved(self, tiny_machine, tmp_path):
+        workload = get_workload("mcf", tiny_machine, 800, 5)
+        return workload, save_workload(workload, tmp_path / "mcf.npz")
+
+    def test_short_read_retried_to_identical_workload(self, tiny_machine,
+                                                      tmp_path):
+        workload, path = self._saved(tiny_machine, tmp_path)
+        plan = plan_of(FaultSpec(site="tracefile.load", kind="short_read",
+                                 hits=[1]))
+        with faults.scope(plan), telemetry.session(force=True) as sess:
+            loaded = load_workload(path)
+        assert loaded.name == workload.name
+        for a, b in zip(workload.traces, loaded.traces):
+            np.testing.assert_array_equal(a.addr, b.addr)
+            np.testing.assert_array_equal(a.write, b.write)
+        handled = [e for e in sess.events if e["name"] == "faults.handled"]
+        assert handled and handled[0]["site"] == "tracefile.load"
+
+    def test_short_read_every_attempt_raises_config_error(self, tiny_machine,
+                                                          tmp_path):
+        _workload, path = self._saved(tiny_machine, tmp_path)
+        plan = plan_of(FaultSpec(site="tracefile.load", kind="short_read",
+                                 hits=[1, 2, 3]))
+        with faults.scope(plan):
+            with pytest.raises(ConfigError, match="unreadable after 3 attempts"):
+                load_workload(path)
+
+    def test_io_error_retried(self, tiny_machine, tmp_path):
+        workload, path = self._saved(tiny_machine, tmp_path)
+        plan = plan_of(FaultSpec(site="tracefile.load", kind="io_error",
+                                 hits=[1, 2]))
+        with faults.scope(plan):
+            assert load_workload(path).name == workload.name
+
+    def test_save_is_atomic_no_tmp_left(self, tiny_machine, tmp_path):
+        _workload, path = self._saved(tiny_machine, tmp_path)
+        assert path.exists()
+        assert list(tmp_path.glob("*.tmp-*")) == []
+
+
+# ============================================================== CLI verbs
+class TestCli:
+    def test_cache_verify_discard(self, cached_config, capsys):
+        from repro.cli import main
+
+        ExperimentRunner(cached_config).stream("mcf")
+        cache_dir = str(cached_config.stream_cache)
+        junk = Path(cache_dir) / "junk.npz"
+        junk.write_bytes(b"not a zip")
+        # Without --discard: flags it, exits 1, leaves it.
+        assert main(["cache", "verify", "--dir", cache_dir]) == 1
+        assert junk.exists()
+        # With --discard: removes it and still exits 1 (CI must notice).
+        assert main(["cache", "verify", "--dir", cache_dir, "--discard"]) == 1
+        out = capsys.readouterr().out
+        assert "discarded junk.npz" in out
+        assert not junk.exists()
+        assert main(["cache", "verify", "--dir", cache_dir]) == 0
+
+    def test_chaos_requires_plan(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["chaos"])
+
+    def test_chaos_missing_plan_file_is_clean_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["chaos", "--plan", str(tmp_path / "nope.json")]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+
+# ===================================================== chaos equivalence
+class TestChaosHarness:
+    def test_committed_plan_fig6_slice_is_bit_identical(self, tmp_path):
+        """The acceptance gate: the committed chaos plan against a fig6
+        smoke slice injects >= 3 distinct fault kinds, every fault is
+        handled, and the faulted artifact byte-equals the baseline."""
+        from repro.energy.params import get_machine
+        from repro.faults.chaos import run_chaos
+
+        cfg = SimConfig(machine=get_machine("tiny"), refs_per_core=1200,
+                        seed=1)
+        plan = faults.load_plan(CHAOS_PLAN)
+        report = run_chaos("fig6", cfg, plan, tmp_path / "chaos",
+                           workloads=("mcf", "lbm"), workers=2)
+        assert report.problems == []
+        assert report.identical
+        assert report.ok
+        assert len(report.kinds) >= 3
+        # Both manifests + artifacts persisted for post-mortems.
+        assert (tmp_path / "chaos" / "baseline" / "artifact.md").exists()
+        assert (tmp_path / "chaos" / "faulted" / "run_manifest.json").exists()
+        manifest = json.loads(
+            (tmp_path / "chaos" / "faulted" / "run_manifest.json").read_text()
+        )
+        assert manifest["summary"]["faults"]["handled"] >= 3
+
+    def test_chaos_fault_log_is_reproducible(self, tmp_path):
+        """Two faulted runs under the same plan+seed inject the same
+        faults (site, kind, key, hit) in the same order."""
+        from repro.energy.params import get_machine
+        from repro.faults.chaos import run_chaos
+
+        plan = faults.load_plan(CHAOS_PLAN)
+        logs = []
+        for label in ("one", "two"):
+            cfg = SimConfig(machine=get_machine("tiny"), refs_per_core=900,
+                            seed=2)
+            report = run_chaos("fig6", cfg, plan, tmp_path / label,
+                               workloads=("mcf", "lbm"), workers=2)
+            assert report.ok
+            logs.append([
+                {k: e[k] for k in ("site", "kind", "key", "hit")}
+                for e in report.injected
+            ])
+        assert logs[0] == logs[1]
