@@ -45,6 +45,28 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list reproducible artifact ids")
     sub.add_parser("machines", help="list machine configurations")
 
+    ex = sub.add_parser(
+        "experiments",
+        help="inspect the declarative experiment registry "
+             "(ls: render spec metadata; smoke: cheap registry-wide run)",
+    )
+    ex.add_argument("action", choices=("ls", "smoke"),
+                    help="ls: one row per spec (figure, kind, sweep axes, "
+                         "schemes) without running anything; smoke: run "
+                         "every spec through the driver with its smoke "
+                         "overrides")
+    ex.add_argument("--kind", default=None,
+                    choices=("paper", "extension", "ablation"),
+                    help="restrict to one spec kind")
+    ex.add_argument("--machine", default="tiny", choices=sorted(MACHINES),
+                    help="smoke machine configuration (default: tiny)")
+    ex.add_argument("--refs", type=int, default=1500,
+                    help="smoke references per core (default: 1500)")
+    ex.add_argument("--seed", type=int, default=7,
+                    help="smoke seed (default: 7)")
+    ex.add_argument("--out", type=Path, default=None,
+                    help="with smoke: directory to write <id>.md artifacts")
+
     def add_run_options(p):
         p.add_argument("--machine", default="scaled", choices=sorted(MACHINES),
                        help="machine configuration (default: scaled)")
@@ -204,6 +226,51 @@ def _run_kwargs(args) -> dict:
     if args.workloads:
         kwargs["workloads"] = tuple(w.strip() for w in args.workloads.split(","))
     return kwargs
+
+
+def _experiments(args) -> int:
+    """``repro experiments {ls,smoke}``: the declarative registry itself."""
+    from repro.experiments import SPECS, run_spec
+
+    specs = [s for s in SPECS.values() if args.kind in (None, s.kind)]
+    if args.action == "ls":
+        id_w = max(len(s.experiment_id) for s in specs)
+        fig_w = max(len(s.figure) for s in specs)
+        kind_w = max(len(s.kind) for s in specs)
+        sweep_w = max(len(", ".join(s.sweep) or "-") for s in specs)
+        header = (f"{'id'.ljust(id_w)}  {'figure'.ljust(fig_w)}  "
+                  f"{'kind'.ljust(kind_w)}  {'sweep'.ljust(sweep_w)}  schemes")
+        print(header)
+        print("-" * len(header))
+        for s in specs:
+            sweep = ", ".join(s.sweep) or "-"
+            schemes = ", ".join(s.schemes) or "-"
+            print(f"{s.experiment_id.ljust(id_w)}  {s.figure.ljust(fig_w)}  "
+                  f"{s.kind.ljust(kind_w)}  {sweep.ljust(sweep_w)}  {schemes}")
+        print(f"{len(specs)} experiments")
+        return 0
+    # smoke: every spec through the shared driver, cheap overrides applied.
+    cfg = SimConfig(
+        machine=get_machine(args.machine),
+        refs_per_core=args.refs,
+        seed=args.seed,
+    )
+    print(f"smoke: {len(specs)} specs on {cfg.machine.name}, "
+          f"{cfg.refs_per_core} refs/core, seed {cfg.seed}")
+    for s in specs:
+        result = run_spec(s, cfg, smoke=True)
+        print(f"ok  {s.experiment_id:24s} {result.title}")
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            path = args.out / f"{result.experiment_id}.md"
+            path.write_text(
+                f"# {result.experiment_id}: {result.title}\n\n"
+                f"```\n{result.table}\n```\n\n"
+                + (result.notes + "\n" if result.notes else "")
+            )
+    clear_cache()
+    print("all specs ran")
+    return 0
 
 
 def _analyze(args) -> None:
@@ -506,6 +573,8 @@ def main(argv: list[str] | None = None) -> int:
             if args.save:
                 path = save_workload(workload, args.save)
                 print(f"wrote {path}")
+        elif args.command == "experiments":
+            return _experiments(args)
         elif args.command == "analyze":
             _analyze(args)
         elif args.command == "check":

@@ -38,9 +38,11 @@ from repro.core.redhip import redhip_scheme
 from repro.predictors.base import base_scheme
 from repro.predictors.cbf_scheme import cbf_scheme
 from repro.experiments.context import get_runner
+from repro.experiments.driver import ExperimentSpec, run_spec
 from repro.sim.report import ExperimentResult, add_average, format_table
 
 __all__ = [
+    "SPECS",
     "run_hash_ablation",
     "run_entry_width_ablation",
     "run_banking_ablation",
@@ -52,8 +54,8 @@ __all__ = [
 ABLATION_WORKLOADS = ("bwaves", "mcf", "soplex", "blas")
 
 
-def run_hash_ablation(config=None, workloads=ABLATION_WORKLOADS) -> ExperimentResult:
-    runner = get_runner(config)
+def build_hash_ablation(ctx, workloads=ABLATION_WORKLOADS) -> ExperimentResult:
+    runner = ctx.runner
     cfg = runner.config
     machine = cfg.machine
     series: dict[str, dict[str, float]] = {}
@@ -90,8 +92,8 @@ def run_hash_ablation(config=None, workloads=ABLATION_WORKLOADS) -> ExperimentRe
     )
 
 
-def run_entry_width_ablation(config=None, workloads=ABLATION_WORKLOADS) -> ExperimentResult:
-    runner = get_runner(config)
+def build_entry_width_ablation(ctx, workloads=ABLATION_WORKLOADS) -> ExperimentResult:
+    runner = ctx.runner
     cfg = runner.config
     budget = cfg.machine.prediction_table.size
     series: dict[str, dict[str, float]] = {}
@@ -119,9 +121,8 @@ def run_entry_width_ablation(config=None, workloads=ABLATION_WORKLOADS) -> Exper
     )
 
 
-def run_banking_ablation(config=None) -> ExperimentResult:
-    runner = get_runner(config)
-    machine = runner.config.machine
+def build_banking_ablation(ctx) -> ExperimentResult:
+    machine = ctx.config.machine
     series: dict[str, dict[str, float]] = {}
     for banks in (1, 2, 4, 8, 16):
         cost = RecalibrationCost.for_machine(machine, "bits", banks=banks)
@@ -140,9 +141,8 @@ def run_banking_ablation(config=None) -> ExperimentResult:
     )
 
 
-def run_replacement_ablation(config=None, workloads=ABLATION_WORKLOADS) -> ExperimentResult:
-    runner0 = get_runner(config)
-    cfg = runner0.config
+def build_replacement_ablation(ctx, workloads=ABLATION_WORKLOADS) -> ExperimentResult:
+    cfg = ctx.config
     series: dict[str, dict[str, float]] = {}
     for policy in ("lru", "random", "plru"):
         pol_cfg = replace(cfg, replacement=policy)
@@ -162,9 +162,8 @@ def run_replacement_ablation(config=None, workloads=ABLATION_WORKLOADS) -> Exper
     )
 
 
-def run_fill_accounting_ablation(config=None, workloads=ABLATION_WORKLOADS) -> ExperimentResult:
-    runner0 = get_runner(config)
-    cfg = runner0.config
+def build_fill_accounting_ablation(ctx, workloads=ABLATION_WORKLOADS) -> ExperimentResult:
+    cfg = ctx.config
     series: dict[str, dict[str, float]] = {}
     for weight in (0.0, 0.5, 1.0):
         w_cfg = replace(cfg, fill_energy_weight=weight)
@@ -187,3 +186,72 @@ def run_fill_accounting_ablation(config=None, workloads=ABLATION_WORKLOADS) -> E
             "accounting."
         ),
     )
+
+
+_SMOKE = {"workloads": ("mcf", "bwaves")}
+
+SPECS = (
+    ExperimentSpec(
+        experiment_id="ablation-hash",
+        title="bits-hash vs xor-hash: accuracy vs recalibration cost",
+        build=build_hash_ablation,
+        kind="ablation",
+        workloads=ABLATION_WORKLOADS,
+        schemes=("Base", "ReDHiP-bits", "ReDHiP-xor"),
+        sweep=("hash_kind",),
+        smoke_kwargs=_SMOKE,
+    ),
+    ExperimentSpec(
+        experiment_id="ablation-entry-width",
+        title="1-bit entries + recalibration vs counting entries at equal area",
+        build=build_entry_width_ablation,
+        kind="ablation",
+        workloads=ABLATION_WORKLOADS,
+        schemes=("Base", "ReDHiP", "CBF"),
+        sweep=("entry_bits",),
+        smoke_kwargs=_SMOKE,
+    ),
+    ExperimentSpec(
+        experiment_id="ablation-banking",
+        title="Recalibration latency vs bank parallelism (Figure 5)",
+        build=build_banking_ablation,
+        kind="ablation",
+        sweep=("banks",),
+        uses_runner=False,
+    ),
+    ExperimentSpec(
+        experiment_id="ablation-replacement",
+        title="ReDHiP dynamic-energy savings under different replacement policies",
+        build=build_replacement_ablation,
+        kind="ablation",
+        workloads=ABLATION_WORKLOADS,
+        schemes=("Base", "ReDHiP"),
+        sweep=("replacement",),
+        smoke_kwargs=_SMOKE,
+    ),
+    ExperimentSpec(
+        experiment_id="ablation-fill-accounting",
+        title="Sensitivity of normalized ReDHiP energy to fill-energy charging",
+        build=build_fill_accounting_ablation,
+        kind="ablation",
+        workloads=ABLATION_WORKLOADS,
+        schemes=("Base", "ReDHiP"),
+        sweep=("fill_energy_weight",),
+        smoke_kwargs=_SMOKE,
+    ),
+)
+
+
+def _wrap(spec: ExperimentSpec):
+    def run(config=None, **kwargs) -> ExperimentResult:
+        return run_spec(spec, config, **kwargs)
+
+    run.__doc__ = f"Back-compat entry point for {spec.experiment_id!r}."
+    return run
+
+
+run_hash_ablation = _wrap(SPECS[0])
+run_entry_width_ablation = _wrap(SPECS[1])
+run_banking_ablation = _wrap(SPECS[2])
+run_replacement_ablation = _wrap(SPECS[3])
+run_fill_accounting_ablation = _wrap(SPECS[4])

@@ -1,0 +1,120 @@
+"""Declarative experiment driver: one place that runs any spec.
+
+Every paper artifact is described by an :class:`ExperimentSpec` — id,
+title, figure, sweep axes, scheme line-up, workloads — plus a ``build``
+callable that turns an :class:`ExperimentContext` into an
+:class:`~repro.sim.report.ExperimentResult`.  :func:`run_spec` is the one
+path every spec runs through, so the cross-cutting wiring happens exactly
+once:
+
+* **telemetry** — each run is wrapped in an ``experiment`` span and bumps
+  the ``experiments.runs`` counter;
+* **fault injection** — a config that names a fault plan
+  (``SimConfig(faults=...)``) is activated before the build runs, even
+  for specs that never construct a runner;
+* **runner memoization** — the context's :attr:`ExperimentContext.runner`
+  is the shared memoized runner for the resolved config, so specs that
+  run back-to-back share content walks;
+* **parallel prewarm** — when the user opts in via ``REPRO_PARALLEL``,
+  the spec's workload list is walked through the process pool before the
+  build starts evaluating schemes.
+
+The registry (:mod:`repro.experiments.registry`) maps artifact ids to
+specs; the per-figure modules keep thin ``run(config=None, **kwargs)``
+wrappers that route through here, so both ``run_experiment("fig6")`` and
+``fig6_speedup.run()`` are the same code path.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro import faults, telemetry
+from repro.experiments.context import default_config, get_runner
+from repro.sim.config import SimConfig
+from repro.sim.report import ExperimentResult
+
+__all__ = ["ExperimentContext", "ExperimentSpec", "run_spec"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative description of one reproducible artifact.
+
+    ``build(ctx, **kwargs)`` does the experiment-specific work; everything
+    else is metadata the driver and the CLI (``repro experiments ls``)
+    read without running anything.
+
+    ``smoke_kwargs`` are the overrides a cheap registry-wide smoke pass
+    uses (typically a two-workload subset); ``uses_runner`` is False for
+    static artifacts (Figure 1's historical dataset, Table I's parameter
+    cross-check) that never touch content streams.
+    """
+
+    experiment_id: str
+    title: str
+    build: Callable[..., ExperimentResult] = field(compare=False)
+    #: Paper anchor ("Figure 6", "Table I") or "—" for extensions/ablations.
+    figure: str = "—"
+    #: "paper" | "extension" | "ablation".
+    kind: str = "paper"
+    #: Registry workload names the default run evaluates (prewarm list).
+    workloads: tuple[str, ...] = ()
+    #: Scheme names the artifact compares (display metadata).
+    schemes: tuple[str, ...] = ()
+    #: Swept axes, if the experiment is a parameter sweep.
+    sweep: tuple[str, ...] = ()
+    uses_runner: bool = True
+    smoke_kwargs: Mapping[str, Any] = field(default_factory=dict, compare=False)
+    notes: str = ""
+
+
+class ExperimentContext:
+    """What a spec's ``build`` receives: the resolved config plus the
+    memoized runner for it (built lazily, so runner-less specs never pay
+    for one)."""
+
+    def __init__(self, spec: ExperimentSpec, config: SimConfig) -> None:
+        self.spec = spec
+        self.config = config
+
+    @property
+    def runner(self):
+        return get_runner(self.config)
+
+
+def _maybe_prewarm(ctx: ExperimentContext, workloads) -> None:
+    """Fan the spec's content walks over a process pool — only when the
+    user opted in with ``REPRO_PARALLEL`` (the serial default stays the
+    default), and only for registry-named workloads."""
+    if not workloads or not os.environ.get("REPRO_PARALLEL"):
+        return
+    from repro.sim.parallel import prewarm_streams
+
+    names = [w for w in workloads if isinstance(w, str)]
+    if len(names) > 1:
+        prewarm_streams(ctx.runner, names)
+
+
+def run_spec(
+    spec: ExperimentSpec, config: SimConfig | None = None,
+    smoke: bool = False, **kwargs,
+) -> ExperimentResult:
+    """Run one spec: the single entry point for every experiment.
+
+    ``smoke=True`` merges :attr:`ExperimentSpec.smoke_kwargs` under the
+    caller's kwargs (explicit arguments win), which is how the CLI's
+    ``repro experiments smoke`` and CI keep a registry-wide pass cheap.
+    """
+    cfg = config if config is not None else default_config()
+    if smoke:
+        kwargs = {**dict(spec.smoke_kwargs), **kwargs}
+    with telemetry.span("experiment", experiment=spec.experiment_id):
+        telemetry.count("experiments.runs", experiment=spec.experiment_id)
+        faults.ensure(cfg)
+        ctx = ExperimentContext(spec, cfg)
+        if spec.uses_runner:
+            _maybe_prewarm(ctx, kwargs.get("workloads", spec.workloads))
+        return spec.build(ctx, **kwargs)

@@ -34,11 +34,13 @@ from repro.core.redhip import redhip_scheme
 from repro.predictors.base import base_scheme
 from repro.predictors.missmap import missmap_scheme
 from repro.experiments.context import get_runner
+from repro.experiments.driver import ExperimentSpec, run_spec
 from repro.sim.report import ExperimentResult, add_average, format_table
 from repro.workloads.synthetic import Component, Region, assemble_mixture
 from repro.workloads.trace import duplicate_for_cores
 
 __all__ = [
+    "SPECS",
     "run_gating",
     "run_missmap",
     "run_core_scaling",
@@ -75,8 +77,8 @@ def _gate_bait_workload(machine, refs: int, seed: int):
     return duplicate_for_cores(trace, machine.cores, seed=seed)
 
 
-def run_gating(config=None, workloads=GATING_WORKLOADS) -> ExperimentResult:
-    runner = get_runner(config)
+def build_gating(ctx, workloads=GATING_WORKLOADS) -> ExperimentResult:
+    runner = ctx.runner
     cfg = runner.config
     bait = _gate_bait_workload(cfg.machine, cfg.refs_per_core, cfg.seed)
     runner.add_workload(bait)
@@ -116,8 +118,8 @@ def run_gating(config=None, workloads=GATING_WORKLOADS) -> ExperimentResult:
     )
 
 
-def run_missmap(config=None, workloads=MISSMAP_WORKLOADS) -> ExperimentResult:
-    runner = get_runner(config)
+def build_missmap(ctx, workloads=MISSMAP_WORKLOADS) -> ExperimentResult:
+    runner = ctx.runner
     cfg = runner.config
     series: dict[str, dict[str, float]] = {}
     for wname in workloads:
@@ -143,9 +145,9 @@ def run_missmap(config=None, workloads=MISSMAP_WORKLOADS) -> ExperimentResult:
     )
 
 
-def run_core_scaling(config=None, workloads=SCALING_WORKLOADS,
-                     core_counts=(2, 4, 8)) -> ExperimentResult:
-    base_cfg = get_runner(config).config
+def build_core_scaling(ctx, workloads=SCALING_WORKLOADS,
+                       core_counts=(2, 4, 8)) -> ExperimentResult:
+    base_cfg = ctx.config
     series: dict[str, dict[str, float]] = {}
     for cores in core_counts:
         machine = base_cfg.machine.with_cores(cores)
@@ -176,8 +178,8 @@ def run_core_scaling(config=None, workloads=SCALING_WORKLOADS,
 DEPTH_WORKLOADS = ("mcf", "bwaves")
 
 
-def run_depth_scaling(config=None, workloads=DEPTH_WORKLOADS,
-                      depths=(2, 3, 4, 5)) -> ExperimentResult:
+def build_depth_scaling(ctx, workloads=DEPTH_WORKLOADS,
+                        depths=(2, 3, 4, 5)) -> ExperimentResult:
     """ReDHiP vs hierarchy depth — Figure 1's trend, quantified.
 
     For each depth, a CACTI-modelled machine (see
@@ -189,7 +191,7 @@ def run_depth_scaling(config=None, workloads=DEPTH_WORKLOADS,
     from repro.energy.params import deep_machine
     from repro.predictors.base import oracle_scheme
 
-    base_cfg = get_runner(config).config
+    base_cfg = ctx.config
     series: dict[str, dict[str, float]] = {}
     for depth in depths:
         machine = deep_machine(depth, cores=base_cfg.machine.cores)
@@ -214,7 +216,7 @@ def run_depth_scaling(config=None, workloads=DEPTH_WORKLOADS,
     )
 
 
-def run_sharing(config=None, fractions=(0.0, 0.2, 0.4)) -> ExperimentResult:
+def build_sharing(ctx, fractions=(0.0, 0.2, 0.4)) -> ExperimentResult:
     """ReDHiP under multi-threaded sharing with write-invalidate coherence.
 
     §III: ReDHiP 'does not require changes to existing cache coherence
@@ -229,7 +231,7 @@ def run_sharing(config=None, fractions=(0.0, 0.2, 0.4)) -> ExperimentResult:
     from repro.sim.evaluate import evaluate_scheme
     from repro.workloads.shared import build_shared_workload
 
-    base_cfg = get_runner(config).config
+    base_cfg = ctx.config
     cfg = replace(base_cfg, coherent=True)
     series: dict[str, dict[str, float]] = {}
     for frac in fractions:
@@ -263,7 +265,7 @@ def run_sharing(config=None, fractions=(0.0, 0.2, 0.4)) -> ExperimentResult:
     )
 
 
-def run_reuse_check(config=None, workloads=("bwaves", "mcf", "soplex")) -> ExperimentResult:
+def build_reuse_check(ctx, workloads=("bwaves", "mcf", "soplex")) -> ExperimentResult:
     """Analytic cross-check: reuse-distance hit rates vs simulation.
 
     The fully-associative LRU hit rate computed from each trace's
@@ -274,7 +276,7 @@ def run_reuse_check(config=None, workloads=("bwaves", "mcf", "soplex")) -> Exper
     from repro.analysis.reuse import profile_trace
     from repro.energy.params import BLOCK_SIZE
 
-    runner = get_runner(config)
+    runner = ctx.runner
     cfg = runner.config
     series: dict[str, dict[str, float]] = {}
     l1_capacity = cfg.machine.level(1).size // BLOCK_SIZE
@@ -305,7 +307,7 @@ def run_reuse_check(config=None, workloads=("bwaves", "mcf", "soplex")) -> Exper
 TIMING_WORKLOADS = ("mcf", "bwaves", "soplex")
 
 
-def run_timing_sensitivity(config=None, workloads=TIMING_WORKLOADS) -> ExperimentResult:
+def build_timing_sensitivity(ctx, workloads=TIMING_WORKLOADS) -> ExperimentResult:
     """How robust are the headline results to the paper's timing model?
 
     §IV makes two simplifications this experiment relaxes:
@@ -323,7 +325,7 @@ def run_timing_sensitivity(config=None, workloads=TIMING_WORKLOADS) -> Experimen
     """
     from repro.predictors.base import oracle_scheme
 
-    base_cfg = get_runner(config).config
+    base_cfg = ctx.config
     variants = [
         ("paper model", {}),
         ("mem 200cyc/20nJ", {"memory_latency": 200.0, "memory_energy_nj": 20.0}),
@@ -369,7 +371,7 @@ def run_timing_sensitivity(config=None, workloads=TIMING_WORKLOADS) -> Experimen
 RELWORK_WORKLOADS = ("bwaves", "mcf", "soplex", "blas")
 
 
-def run_related_work(config=None, workloads=RELWORK_WORKLOADS) -> ExperimentResult:
+def build_related_work(ctx, workloads=RELWORK_WORKLOADS) -> ExperimentResult:
     """The §II design space side by side: serialize, way-predict, or skip.
 
     Phased Cache serializes tag->data; way prediction [12] reads one
@@ -378,9 +380,10 @@ def run_related_work(config=None, workloads=RELWORK_WORKLOADS) -> ExperimentResu
     removes lookups entirely, which is why it wins on both axes for
     miss-dominated traffic.
     """
-    from repro.predictors.base import phased_scheme, waypred_scheme
+    from repro.predictors.base import oracle_scheme, phased_scheme, waypred_scheme
+    from repro.sim.report import scheme_comparison_table
 
-    runner = get_runner(config)
+    runner = ctx.runner
     cfg = runner.config
     schemes = [
         phased_scheme(),
@@ -388,6 +391,7 @@ def run_related_work(config=None, workloads=RELWORK_WORKLOADS) -> ExperimentResu
         redhip_scheme(recal_period=cfg.recal_period),
     ]
     series: dict[str, dict[str, float]] = {}
+    by_scheme: dict[str, object] = {}
     for wname in workloads:
         base = runner.run(wname, base_scheme())
         row: dict[str, float] = {}
@@ -395,10 +399,19 @@ def run_related_work(config=None, workloads=RELWORK_WORKLOADS) -> ExperimentResu
             res = runner.run(wname, scheme)
             row[f"{scheme.name} spd"] = res.speedup_over(base) - 1.0
             row[f"{scheme.name} dynE"] = res.dynamic_ratio(base)
+            if wname == workloads[0]:
+                by_scheme[scheme.name] = res
         series[wname] = row
+        if wname == workloads[0]:
+            by_scheme["Base"] = base
+            by_scheme["Oracle"] = runner.run(wname, oracle_scheme())
     series = add_average(series)
     cols = [f"{s.name} spd" for s in schemes] + [f"{s.name} dynE" for s in schemes]
     table = format_table(series, cols, value_format="{:+.1%}")
+    # Per-category energy for one workload, every scheme in kernel
+    # category terms — WayPred's tag/data split and Oracle's zeroed PT
+    # columns render explicitly (0, never "-").
+    category_table = scheme_comparison_table(by_scheme)
     return ExperimentResult(
         experiment_id="ext-relwork",
         title="Related-work design space: Phased vs WayPred vs ReDHiP",
@@ -406,13 +419,15 @@ def run_related_work(config=None, workloads=RELWORK_WORKLOADS) -> ExperimentResu
         table=table,
         notes="Way prediction and phasing cut data-array energy but keep "
         "every lookup; ReDHiP removes the lookups — the paper's bet.",
+        extra={"category_table": category_table,
+               "category_workload": workloads[0]},
     )
 
 
 NINE_WORKLOADS = ("bwaves", "mcf", "soplex")
 
 
-def run_nine(config=None, workloads=NINE_WORKLOADS) -> ExperimentResult:
+def build_nine(ctx, workloads=NINE_WORKLOADS) -> ExperimentResult:
     """How load-bearing is §III's inclusion assumption?
 
     Under a non-inclusive/non-exclusive (NINE) LLC — the other common real
@@ -424,7 +439,7 @@ def run_nine(config=None, workloads=NINE_WORKLOADS) -> ExperimentResult:
     """
     from repro.sim.content import ContentSimulator
 
-    base_cfg = get_runner(config).config
+    base_cfg = ctx.config
     cfg = base_cfg.with_policy("nine")
     series: dict[str, dict[str, float]] = {}
     for wname in workloads:
@@ -460,15 +475,15 @@ def run_nine(config=None, workloads=NINE_WORKLOADS) -> ExperimentResult:
 ADAPTIVE_WORKLOADS = ("bwaves", "mcf", "soplex", "blas")
 
 
-def run_adaptive_recal(config=None, workloads=ADAPTIVE_WORKLOADS,
-                       threshold: float = 0.4) -> ExperimentResult:
+def build_adaptive_recal(ctx, workloads=ADAPTIVE_WORKLOADS,
+                         threshold: float = 0.4) -> ExperimentResult:
     """Fixed-period vs staleness-driven (adaptive) recalibration.
 
     The adaptive engine sweeps after every ``threshold x LLC-lines`` fills
     instead of every N L1 misses — same machinery, churn-proportional
     trigger (see :class:`repro.core.recalibration.AdaptiveRecalibrationEngine`).
     """
-    runner = get_runner(config)
+    runner = ctx.runner
     cfg = runner.config
     fixed = redhip_scheme(recal_period=cfg.recal_period, name="ReDHiP-fixed")
     adaptive = redhip_scheme(recal_period=None, recal_threshold=threshold,
@@ -495,3 +510,120 @@ def run_adaptive_recal(config=None, workloads=ADAPTIVE_WORKLOADS,
         notes="The adaptive trigger places sweeps where staleness actually "
         "accumulates; at matched sweep budgets it should never lose.",
     )
+
+
+_SMOKE = {"workloads": ("mcf", "bwaves")}
+
+SPECS = (
+    ExperimentSpec(
+        experiment_id="ext-gating",
+        title="Utility gating (§IV): ReDHiP with and without the gate",
+        build=build_gating,
+        kind="extension",
+        workloads=GATING_WORKLOADS,
+        schemes=("Base", "ReDHiP", "ReDHiP-gated"),
+        smoke_kwargs=_SMOKE,
+    ),
+    ExperimentSpec(
+        experiment_id="ext-missmap",
+        title="ReDHiP vs MissMap-style exact page tracking at equal area",
+        build=build_missmap,
+        kind="extension",
+        workloads=MISSMAP_WORKLOADS,
+        schemes=("Base", "ReDHiP", "MissMap"),
+        smoke_kwargs=_SMOKE,
+    ),
+    ExperimentSpec(
+        experiment_id="ext-cores",
+        title="ReDHiP dynamic-energy savings vs core count (fixed LLC)",
+        build=build_core_scaling,
+        kind="extension",
+        workloads=SCALING_WORKLOADS,
+        schemes=("Base", "ReDHiP"),
+        sweep=("cores",),
+        smoke_kwargs=_SMOKE,
+    ),
+    ExperimentSpec(
+        experiment_id="ext-depth",
+        title="ReDHiP benefit vs hierarchy depth (Figure 1's trend)",
+        build=build_depth_scaling,
+        kind="extension",
+        workloads=DEPTH_WORKLOADS,
+        schemes=("Base", "Oracle", "ReDHiP"),
+        sweep=("depth",),
+        smoke_kwargs=_SMOKE,
+    ),
+    ExperimentSpec(
+        experiment_id="ext-sharing",
+        title="ReDHiP under write-invalidate coherence (shared data)",
+        build=build_sharing,
+        kind="extension",
+        schemes=("Base", "ReDHiP"),
+        sweep=("shared_fraction",),
+    ),
+    ExperimentSpec(
+        experiment_id="ext-reuse",
+        title="Reuse-distance analytics vs simulated hit rates",
+        build=build_reuse_check,
+        kind="extension",
+        workloads=("bwaves", "mcf", "soplex"),
+        smoke_kwargs=_SMOKE,
+    ),
+    ExperimentSpec(
+        experiment_id="ext-timing",
+        title="Sensitivity of the headline results to the timing model",
+        build=build_timing_sensitivity,
+        kind="extension",
+        workloads=TIMING_WORKLOADS,
+        schemes=("Base", "Oracle", "ReDHiP"),
+        sweep=("timing_model",),
+        smoke_kwargs=_SMOKE,
+    ),
+    ExperimentSpec(
+        experiment_id="ext-relwork",
+        title="Related-work design space: Phased vs WayPred vs ReDHiP",
+        build=build_related_work,
+        kind="extension",
+        workloads=RELWORK_WORKLOADS,
+        schemes=("Base", "Phased", "WayPred", "ReDHiP", "Oracle"),
+        smoke_kwargs=_SMOKE,
+    ),
+    ExperimentSpec(
+        experiment_id="ext-nine",
+        title="NINE hierarchy: would-be false negatives of a single table",
+        build=build_nine,
+        kind="extension",
+        workloads=NINE_WORKLOADS,
+        smoke_kwargs=_SMOKE,
+    ),
+    ExperimentSpec(
+        experiment_id="ext-adaptive-recal",
+        title="Fixed-period vs churn-driven recalibration",
+        build=build_adaptive_recal,
+        kind="extension",
+        workloads=ADAPTIVE_WORKLOADS,
+        schemes=("Base", "ReDHiP-fixed", "ReDHiP-adaptive"),
+        sweep=("recal_trigger",),
+        smoke_kwargs=_SMOKE,
+    ),
+)
+
+
+def _wrap(spec: ExperimentSpec):
+    def run(config=None, **kwargs) -> ExperimentResult:
+        return run_spec(spec, config, **kwargs)
+
+    run.__doc__ = f"Back-compat entry point for {spec.experiment_id!r}."
+    return run
+
+
+run_gating = _wrap(SPECS[0])
+run_missmap = _wrap(SPECS[1])
+run_core_scaling = _wrap(SPECS[2])
+run_depth_scaling = _wrap(SPECS[3])
+run_sharing = _wrap(SPECS[4])
+run_reuse_check = _wrap(SPECS[5])
+run_timing_sensitivity = _wrap(SPECS[6])
+run_related_work = _wrap(SPECS[7])
+run_nine = _wrap(SPECS[8])
+run_adaptive_recal = _wrap(SPECS[9])

@@ -13,11 +13,11 @@ from __future__ import annotations
 
 from repro.core.redhip import redhip_scheme
 from repro.predictors.base import base_scheme
-from repro.experiments.context import get_runner
+from repro.experiments.driver import ExperimentSpec, run_spec
 from repro.sim.report import ExperimentResult, add_average, format_table
 from repro.workloads import PAPER_WORKLOADS
 
-__all__ = ["run", "sweep_sizes"]
+__all__ = ["SPEC", "build", "run", "sweep_sizes"]
 
 EXPERIMENT_ID = "fig11"
 TITLE = "ReDHiP dynamic energy vs prediction-table size (accuracy only)"
@@ -37,8 +37,8 @@ def _accuracy_only_ratio(result, base) -> float:
     return dyn / base.dynamic_nj
 
 
-def run(config=None, workloads=PAPER_WORKLOADS) -> ExperimentResult:
-    runner = get_runner(config)
+def build(ctx, workloads=PAPER_WORKLOADS) -> ExperimentResult:
+    runner = ctx.runner
     cfg = runner.config
     sizes = sweep_sizes(cfg.machine.llc.size)
     labels = [f"{s // 1024}KB" if s >= 1024 else f"{s}B" for s in sizes]
@@ -70,3 +70,21 @@ def run(config=None, workloads=PAPER_WORKLOADS) -> ExperimentResult:
             f"Measured average at {knee}: {avg[knee]:.1%} of base."
         ),
     )
+
+
+SPEC = ExperimentSpec(
+    experiment_id=EXPERIMENT_ID,
+    title=TITLE,
+    build=build,
+    figure="Figure 11",
+    kind="paper",
+    workloads=PAPER_WORKLOADS,
+    schemes=("Base", "ReDHiP"),
+    sweep=("table_bytes",),
+    smoke_kwargs={"workloads": ("mcf", "bwaves")},
+)
+
+
+def run(config=None, **kwargs) -> ExperimentResult:
+    """Back-compat entry point: route the spec through the shared driver."""
+    return run_spec(SPEC, config, **kwargs)

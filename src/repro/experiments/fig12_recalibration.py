@@ -13,11 +13,11 @@ from __future__ import annotations
 
 from repro.core.redhip import redhip_scheme
 from repro.predictors.base import base_scheme
-from repro.experiments.context import get_runner
+from repro.experiments.driver import ExperimentSpec, run_spec
 from repro.sim.report import ExperimentResult, add_average, format_table
 from repro.workloads import PAPER_WORKLOADS
 
-__all__ = ["run", "sweep_periods"]
+__all__ = ["SPEC", "build", "run", "sweep_periods"]
 
 EXPERIMENT_ID = "fig12"
 TITLE = "ReDHiP dynamic energy vs recalibration period (accuracy only)"
@@ -42,8 +42,8 @@ def _accuracy_only_ratio(result, base) -> float:
     return dyn / base.dynamic_nj
 
 
-def run(config=None, workloads=PAPER_WORKLOADS) -> ExperimentResult:
-    runner = get_runner(config)
+def build(ctx, workloads=PAPER_WORKLOADS) -> ExperimentResult:
+    runner = ctx.runner
     cfg = runner.config
     points = sweep_periods(cfg.recal_period)
     labels = [label for label, _ in points]
@@ -70,3 +70,21 @@ def run(config=None, workloads=PAPER_WORKLOADS) -> ExperimentResult:
             + ", ".join(f"{k}={v:.0%}" for k, v in avg.items())
         ),
     )
+
+
+SPEC = ExperimentSpec(
+    experiment_id=EXPERIMENT_ID,
+    title=TITLE,
+    build=build,
+    figure="Figure 12",
+    kind="paper",
+    workloads=PAPER_WORKLOADS,
+    schemes=("Base", "ReDHiP"),
+    sweep=("recal_period",),
+    smoke_kwargs={"workloads": ("mcf", "bwaves")},
+)
+
+
+def run(config=None, **kwargs) -> ExperimentResult:
+    """Back-compat entry point: route the spec through the shared driver."""
+    return run_spec(SPEC, config, **kwargs)

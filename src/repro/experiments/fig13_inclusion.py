@@ -18,11 +18,11 @@ from __future__ import annotations
 from repro.core.redhip import redhip_scheme
 from repro.hierarchy.inclusion import InclusionPolicy
 from repro.predictors.base import base_scheme
-from repro.experiments.context import get_runner
+from repro.experiments.driver import ExperimentSpec, run_spec
 from repro.sim.report import ExperimentResult, add_average, format_table
 from repro.workloads import PAPER_WORKLOADS
 
-__all__ = ["run"]
+__all__ = ["SPEC", "build", "run"]
 
 EXPERIMENT_ID = "fig13"
 TITLE = "ReDHiP dynamic-energy savings by inclusion policy"
@@ -30,8 +30,8 @@ TITLE = "ReDHiP dynamic-energy savings by inclusion policy"
 COLUMNS = ["Inclusive", "Hybrid", "Exclusive"]
 
 
-def run(config=None, workloads=PAPER_WORKLOADS) -> ExperimentResult:
-    runner = get_runner(config)
+def build(ctx, workloads=PAPER_WORKLOADS) -> ExperimentResult:
+    runner = ctx.runner
     cfg = runner.config
     series: dict[str, dict[str, float]] = {}
     for wname in workloads:
@@ -60,3 +60,21 @@ def run(config=None, workloads=PAPER_WORKLOADS) -> ExperimentResult:
             + ", ".join(f"{k}={v:.0%}" for k, v in avg.items())
         ),
     )
+
+
+SPEC = ExperimentSpec(
+    experiment_id=EXPERIMENT_ID,
+    title=TITLE,
+    build=build,
+    figure="Figure 13",
+    kind="paper",
+    workloads=PAPER_WORKLOADS,
+    schemes=("Base", "ReDHiP"),
+    sweep=("policy",),
+    smoke_kwargs={"workloads": ("mcf", "bwaves")},
+)
+
+
+def run(config=None, **kwargs) -> ExperimentResult:
+    """Back-compat entry point: route the spec through the shared driver."""
+    return run_spec(SPEC, config, **kwargs)

@@ -26,12 +26,13 @@ from dataclasses import replace
 from repro.core.redhip import redhip_scheme
 from repro.predictors.base import base_scheme
 from repro.experiments.context import get_runner
+from repro.experiments.driver import ExperimentSpec, run_spec
 from repro.sim.config import SimConfig
 from repro.sim.integrated import PrefetchConfig
 from repro.sim.report import ExperimentResult, add_average, format_table
 from repro.workloads import PAPER_WORKLOADS
 
-__all__ = ["run"]
+__all__ = ["SPEC", "build", "run"]
 
 EXPERIMENT_ID = "fig14-15"
 TITLE = "Stride prefetching vs ReDHiP vs both (speedup and dynamic energy)"
@@ -39,8 +40,8 @@ TITLE = "Stride prefetching vs ReDHiP vs both (speedup and dynamic energy)"
 COLUMNS = ["SP", "ReDHiP", "SP+ReDHiP"]
 
 
-def run(config=None, workloads=PAPER_WORKLOADS, refs_cap: int | None = None) -> ExperimentResult:
-    base_cfg = get_runner(config).config
+def build(ctx, workloads=PAPER_WORKLOADS, refs_cap: int | None = None) -> ExperimentResult:
+    base_cfg = ctx.config
     cap = refs_cap if refs_cap is not None else max(20_000, base_cfg.refs_per_core // 2)
     cfg: SimConfig = replace(base_cfg, refs_per_core=min(base_cfg.refs_per_core, cap))
     runner = get_runner(cfg)
@@ -90,3 +91,21 @@ def run(config=None, workloads=PAPER_WORKLOADS, refs_cap: int | None = None) -> 
         ),
         extra={"prefetch_stats": prefetch_stats},
     )
+
+
+SPEC = ExperimentSpec(
+    experiment_id=EXPERIMENT_ID,
+    title=TITLE,
+    build=build,
+    figure="Figures 14-15",
+    kind="paper",
+    workloads=PAPER_WORKLOADS,
+    schemes=("Base", "SP", "ReDHiP", "SP+ReDHiP"),
+    sweep=("prefetch",),
+    smoke_kwargs={"workloads": ("mcf", "bwaves")},
+)
+
+
+def run(config=None, **kwargs) -> ExperimentResult:
+    """Back-compat entry point: route the spec through the shared driver."""
+    return run_spec(SPEC, config, **kwargs)

@@ -12,9 +12,10 @@ and sizes grow monotonically within a level.
 
 from __future__ import annotations
 
+from repro.experiments.driver import ExperimentSpec, run_spec
 from repro.sim.report import ExperimentResult, format_table
 
-__all__ = ["CACHE_HISTORY_KB", "run"]
+__all__ = ["CACHE_HISTORY_KB", "SPEC", "build", "run"]
 
 EXPERIMENT_ID = "fig1"
 TITLE = "Hardware cache sizes by level and year of appearance"
@@ -38,7 +39,7 @@ CACHE_HISTORY_KB: dict[str, list[tuple[int, int]]] = {
 }
 
 
-def run(config=None) -> ExperimentResult:
+def build(ctx) -> ExperimentResult:
     """Emit the Figure 1 series (size in KB per level per year)."""
     series: dict[str, dict[str, float]] = {}
     for level, points in CACHE_HISTORY_KB.items():
@@ -53,3 +54,18 @@ def run(config=None) -> ExperimentResult:
     return ExperimentResult(
         experiment_id=EXPERIMENT_ID, title=TITLE, series=series, table=table, notes=notes
     )
+
+
+SPEC = ExperimentSpec(
+    experiment_id=EXPERIMENT_ID,
+    title=TITLE,
+    build=build,
+    figure="Figure 1",
+    kind="paper",
+    uses_runner=False,
+)
+
+
+def run(config=None, **kwargs) -> ExperimentResult:
+    """Back-compat entry point: route the spec through the shared driver."""
+    return run_spec(SPEC, config, **kwargs)

@@ -9,19 +9,20 @@ included in ReDHiP.
 from __future__ import annotations
 
 from repro.core.redhip import redhip_scheme
-from repro.experiments.context import get_runner, paper_schemes
+from repro.experiments.context import paper_schemes
+from repro.experiments.driver import ExperimentSpec, run_spec
 from repro.sim.report import ExperimentResult, add_average, format_table, speedup_table
 from repro.workloads import PAPER_WORKLOADS
 
-__all__ = ["run"]
+__all__ = ["SPEC", "build", "run"]
 
 EXPERIMENT_ID = "fig6"
 TITLE = "Speedup over base: Oracle, CBF, Phased, ReDHiP"
 PAPER_AVERAGES = {"Oracle": 0.13, "CBF": 0.04, "Phased": -0.03, "ReDHiP": 0.08}
 
 
-def run(config=None, workloads=PAPER_WORKLOADS, include_no_overhead: bool = True) -> ExperimentResult:
-    runner = get_runner(config)
+def build(ctx, workloads=PAPER_WORKLOADS, include_no_overhead: bool = True) -> ExperimentResult:
+    runner = ctx.runner
     cfg = runner.config
     schemes = paper_schemes(cfg)
     if include_no_overhead:
@@ -44,3 +45,20 @@ def run(config=None, workloads=PAPER_WORKLOADS, include_no_overhead: bool = True
         notes=f"Paper averages: {PAPER_AVERAGES}",
         extra={"results": results},
     )
+
+
+SPEC = ExperimentSpec(
+    experiment_id=EXPERIMENT_ID,
+    title=TITLE,
+    build=build,
+    figure="Figure 6",
+    kind="paper",
+    workloads=PAPER_WORKLOADS,
+    schemes=("Base", "Oracle", "CBF", "Phased", "ReDHiP", "ReDHiP-NoOv"),
+    smoke_kwargs={"workloads": ("mcf", "bwaves")},
+)
+
+
+def run(config=None, **kwargs) -> ExperimentResult:
+    """Back-compat entry point: route the spec through the shared driver."""
+    return run_spec(SPEC, config, **kwargs)

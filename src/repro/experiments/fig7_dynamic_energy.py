@@ -8,7 +8,8 @@ Oracle < ReDHiP < Phased < CBF < Base.
 
 from __future__ import annotations
 
-from repro.experiments.context import get_runner, paper_schemes
+from repro.experiments.context import paper_schemes
+from repro.experiments.driver import ExperimentSpec, run_spec
 from repro.sim.report import (
     ExperimentResult,
     add_average,
@@ -17,15 +18,15 @@ from repro.sim.report import (
 )
 from repro.workloads import PAPER_WORKLOADS
 
-__all__ = ["run"]
+__all__ = ["SPEC", "build", "run"]
 
 EXPERIMENT_ID = "fig7"
 TITLE = "Dynamic energy normalized to base: Oracle, CBF, Phased, ReDHiP"
 PAPER_AVERAGES = {"Oracle": 0.29, "CBF": 0.82, "Phased": 0.45, "ReDHiP": 0.39}
 
 
-def run(config=None, workloads=PAPER_WORKLOADS) -> ExperimentResult:
-    runner = get_runner(config)
+def build(ctx, workloads=PAPER_WORKLOADS) -> ExperimentResult:
+    runner = ctx.runner
     schemes = paper_schemes(runner.config)
     results = runner.run_matrix(workloads, schemes)
     series = add_average(dynamic_energy_table(results))
@@ -49,3 +50,20 @@ def run(config=None, workloads=PAPER_WORKLOADS) -> ExperimentResult:
         ),
         extra={"results": results, "pt_overhead_share": overhead},
     )
+
+
+SPEC = ExperimentSpec(
+    experiment_id=EXPERIMENT_ID,
+    title=TITLE,
+    build=build,
+    figure="Figure 7",
+    kind="paper",
+    workloads=PAPER_WORKLOADS,
+    schemes=("Base", "Oracle", "CBF", "Phased", "ReDHiP"),
+    smoke_kwargs={"workloads": ("mcf", "bwaves")},
+)
+
+
+def run(config=None, **kwargs) -> ExperimentResult:
+    """Back-compat entry point: route the spec through the shared driver."""
+    return run_spec(SPEC, config, **kwargs)

@@ -11,7 +11,8 @@ paper's figure.
 
 from __future__ import annotations
 
-from repro.experiments.context import get_runner, paper_schemes
+from repro.experiments.context import paper_schemes
+from repro.experiments.driver import ExperimentSpec, run_spec
 from repro.sim.report import (
     ExperimentResult,
     add_average,
@@ -20,14 +21,14 @@ from repro.sim.report import (
 )
 from repro.workloads import PAPER_WORKLOADS
 
-__all__ = ["run"]
+__all__ = ["SPEC", "build", "run"]
 
 EXPERIMENT_ID = "fig8"
 TITLE = "Performance-energy metric (speedup x total-energy saving)"
 
 
-def run(config=None, workloads=PAPER_WORKLOADS) -> ExperimentResult:
-    runner = get_runner(config)
+def build(ctx, workloads=PAPER_WORKLOADS) -> ExperimentResult:
+    runner = ctx.runner
     schemes = paper_schemes(runner.config, include_oracle=False)
     results = runner.run_matrix(workloads, schemes)
     series = add_average(perf_energy_table(results))
@@ -43,3 +44,20 @@ def run(config=None, workloads=PAPER_WORKLOADS) -> ExperimentResult:
         notes=f"Best average metric: {best} ({avg[best]:.3f}); paper: ReDHiP wins by far.",
         extra={"results": results},
     )
+
+
+SPEC = ExperimentSpec(
+    experiment_id=EXPERIMENT_ID,
+    title=TITLE,
+    build=build,
+    figure="Figure 8",
+    kind="paper",
+    workloads=PAPER_WORKLOADS,
+    schemes=("Base", "CBF", "Phased", "ReDHiP"),
+    smoke_kwargs={"workloads": ("mcf", "bwaves")},
+)
+
+
+def run(config=None, **kwargs) -> ExperimentResult:
+    """Back-compat entry point: route the spec through the shared driver."""
+    return run_spec(SPEC, config, **kwargs)

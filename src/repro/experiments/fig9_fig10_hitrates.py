@@ -11,17 +11,18 @@ from __future__ import annotations
 
 from repro.core.redhip import redhip_scheme
 from repro.predictors.base import base_scheme
-from repro.experiments.context import get_runner
+from repro.experiments.driver import ExperimentSpec, run_spec
 from repro.sim.report import ExperimentResult, add_average, format_table, hit_rate_table
 from repro.workloads import PAPER_WORKLOADS
 
-__all__ = ["run_fig9", "run_fig10", "run_delta"]
+__all__ = ["SPEC_FIG9", "SPEC_FIG10", "SPEC_DELTA",
+           "run_fig9", "run_fig10", "run_delta"]
 
 PAPER_DELTAS_PP = {"L2": 0.14, "L3": 0.12, "L4": 0.18}
 
 
-def _hit_rate_experiment(experiment_id: str, title: str, scheme_builder, config):
-    runner = get_runner(config)
+def _hit_rate_experiment(ctx, experiment_id: str, title: str, scheme_builder):
+    runner = ctx.runner
     scheme = scheme_builder(runner.config)
     results = {w: runner.run(w, scheme) for w in PAPER_WORKLOADS}
     num_levels = runner.config.machine.num_levels
@@ -34,27 +35,31 @@ def _hit_rate_experiment(experiment_id: str, title: str, scheme_builder, config)
     )
 
 
-def run_fig9(config=None) -> ExperimentResult:
+def build_fig9(ctx) -> ExperimentResult:
     """Base-case hit rates (Figure 9)."""
     return _hit_rate_experiment(
-        "fig9", "Per-level hit rates, base case", lambda cfg: base_scheme(), config
+        ctx, "fig9", "Per-level hit rates, base case", lambda cfg: base_scheme()
     )
 
 
-def run_fig10(config=None) -> ExperimentResult:
+def build_fig10(ctx) -> ExperimentResult:
     """Hit rates under ReDHiP (Figure 10)."""
     return _hit_rate_experiment(
+        ctx,
         "fig10",
         "Per-level hit rates under ReDHiP",
         lambda cfg: redhip_scheme(recal_period=cfg.recal_period),
-        config,
     )
 
 
-def run_delta(config=None) -> ExperimentResult:
-    """The paper's quoted deltas: ReDHiP raises L2/L3/L4 hit rates."""
-    base = run_fig9(config)
-    red = run_fig10(config)
+def build_delta(ctx) -> ExperimentResult:
+    """The paper's quoted deltas: ReDHiP raises L2/L3/L4 hit rates.
+
+    Calls the fig9/fig10 builders directly (not through the driver), so a
+    delta run stays one telemetry span, not three.
+    """
+    base = build_fig9(ctx)
+    red = build_fig10(ctx)
     series: dict[str, dict[str, float]] = {}
     for bench in base.series:
         series[bench] = {
@@ -74,3 +79,49 @@ def run_delta(config=None) -> ExperimentResult:
             f"measured: " + ", ".join(f"{k}={v:+.1%}" for k, v in avg.items())
         ),
     )
+
+
+SPEC_FIG9 = ExperimentSpec(
+    experiment_id="fig9",
+    title="Per-level hit rates, base case",
+    build=build_fig9,
+    figure="Figure 9",
+    kind="paper",
+    workloads=PAPER_WORKLOADS,
+    schemes=("Base",),
+)
+
+SPEC_FIG10 = ExperimentSpec(
+    experiment_id="fig10",
+    title="Per-level hit rates under ReDHiP",
+    build=build_fig10,
+    figure="Figure 10",
+    kind="paper",
+    workloads=PAPER_WORKLOADS,
+    schemes=("ReDHiP",),
+)
+
+SPEC_DELTA = ExperimentSpec(
+    experiment_id="fig10-delta",
+    title="Hit-rate improvement under ReDHiP (percentage points)",
+    build=build_delta,
+    figure="Figures 9-10",
+    kind="paper",
+    workloads=PAPER_WORKLOADS,
+    schemes=("Base", "ReDHiP"),
+)
+
+
+def run_fig9(config=None, **kwargs) -> ExperimentResult:
+    """Back-compat entry point: route the spec through the shared driver."""
+    return run_spec(SPEC_FIG9, config, **kwargs)
+
+
+def run_fig10(config=None, **kwargs) -> ExperimentResult:
+    """Back-compat entry point: route the spec through the shared driver."""
+    return run_spec(SPEC_FIG10, config, **kwargs)
+
+
+def run_delta(config=None, **kwargs) -> ExperimentResult:
+    """Back-compat entry point: route the spec through the shared driver."""
+    return run_spec(SPEC_DELTA, config, **kwargs)

@@ -10,18 +10,18 @@ visible.
 from __future__ import annotations
 
 from repro.predictors.base import base_scheme
-from repro.experiments.context import get_runner
+from repro.experiments.driver import ExperimentSpec, run_spec
 from repro.sim.report import ExperimentResult, add_average, format_table
 from repro.workloads import PAPER_WORKLOADS
 
-__all__ = ["run"]
+__all__ = ["SPEC", "build", "run"]
 
 EXPERIMENT_ID = "intro"
 TITLE = "Share of dynamic cache energy consumed by L3+L4 in the base case"
 
 
-def run(config=None, workloads=PAPER_WORKLOADS) -> ExperimentResult:
-    runner = get_runner(config)
+def build(ctx, workloads=PAPER_WORKLOADS) -> ExperimentResult:
+    runner = ctx.runner
     series: dict[str, dict[str, float]] = {}
     for wname in workloads:
         res = runner.run(wname, base_scheme())
@@ -45,3 +45,20 @@ def run(config=None, workloads=PAPER_WORKLOADS) -> ExperimentResult:
         table=table,
         notes=f"Paper: ~80% of dynamic cache energy. Measured average: {avg:.1%}.",
     )
+
+
+SPEC = ExperimentSpec(
+    experiment_id=EXPERIMENT_ID,
+    title=TITLE,
+    build=build,
+    figure="§I",
+    kind="paper",
+    workloads=PAPER_WORKLOADS,
+    schemes=("Base",),
+    smoke_kwargs={"workloads": ("mcf", "bwaves")},
+)
+
+
+def run(config=None, **kwargs) -> ExperimentResult:
+    """Back-compat entry point: route the spec through the shared driver."""
+    return run_spec(SPEC, config, **kwargs)

@@ -1,14 +1,21 @@
-"""Experiment registry: every table/figure id -> runnable experiment.
+"""Experiment registry: every table/figure id -> declarative spec.
 
 ``run_experiment("fig6")`` regenerates the corresponding paper artifact
 and returns an :class:`repro.sim.report.ExperimentResult`; the benchmark
 harness and the examples both go through this registry, so the set of
 reproducible artifacts is defined in exactly one place.
+
+Each entry is an :class:`~repro.experiments.driver.ExperimentSpec`
+declaring the artifact's figure anchor, sweep axes, scheme line-up and
+workloads; :func:`~repro.experiments.driver.run_spec` is the shared
+execution path (telemetry span + counter, fault-plan activation, runner
+memoization, optional parallel prewarm).  ``repro experiments ls``
+renders this table without running anything.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Dict
 
 from repro.experiments import (
     ablations,
@@ -25,56 +32,63 @@ from repro.experiments import (
     intro_energy_split,
     table1_params,
 )
-from repro import telemetry
+from repro.experiments.driver import ExperimentSpec, run_spec
 from repro.sim.report import ExperimentResult
 from repro.util.validation import ConfigError
 
-__all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
+__all__ = ["EXPERIMENTS", "SPECS", "experiment_ids", "get_spec", "run_experiment"]
 
-EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
-    "fig1": fig1_history.run,
-    "table1": table1_params.run,
-    "intro": intro_energy_split.run,
-    "fig6": fig6_speedup.run,
-    "fig7": fig7_dynamic_energy.run,
-    "fig8": fig8_perf_energy.run,
-    "fig9": fig9_fig10_hitrates.run_fig9,
-    "fig10": fig9_fig10_hitrates.run_fig10,
-    "fig10-delta": fig9_fig10_hitrates.run_delta,
-    "fig11": fig11_table_size.run,
-    "fig12": fig12_recalibration.run,
-    "fig13": fig13_inclusion.run,
-    "fig14-15": fig14_15_prefetch.run,
-    "ext-gating": extensions.run_gating,
-    "ext-missmap": extensions.run_missmap,
-    "ext-cores": extensions.run_core_scaling,
-    "ext-depth": extensions.run_depth_scaling,
-    "ext-sharing": extensions.run_sharing,
-    "ext-reuse": extensions.run_reuse_check,
-    "ext-timing": extensions.run_timing_sensitivity,
-    "ext-relwork": extensions.run_related_work,
-    "ext-nine": extensions.run_nine,
-    "ext-adaptive-recal": extensions.run_adaptive_recal,
-    "ablation-hash": ablations.run_hash_ablation,
-    "ablation-entry-width": ablations.run_entry_width_ablation,
-    "ablation-banking": ablations.run_banking_ablation,
-    "ablation-replacement": ablations.run_replacement_ablation,
-    "ablation-fill-accounting": ablations.run_fill_accounting_ablation,
+#: Registry order mirrors the paper: figures/tables first, then
+#: extensions, then ablations.
+SPECS: Dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec
+    for spec in (
+        fig1_history.SPEC,
+        table1_params.SPEC,
+        intro_energy_split.SPEC,
+        fig6_speedup.SPEC,
+        fig7_dynamic_energy.SPEC,
+        fig8_perf_energy.SPEC,
+        fig9_fig10_hitrates.SPEC_FIG9,
+        fig9_fig10_hitrates.SPEC_FIG10,
+        fig9_fig10_hitrates.SPEC_DELTA,
+        fig11_table_size.SPEC,
+        fig12_recalibration.SPEC,
+        fig13_inclusion.SPEC,
+        fig14_15_prefetch.SPEC,
+        *extensions.SPECS,
+        *ablations.SPECS,
+    )
+}
+
+
+def _entry(spec: ExperimentSpec) -> Callable[..., ExperimentResult]:
+    def run(config=None, **kwargs) -> ExperimentResult:
+        return run_spec(spec, config, **kwargs)
+
+    return run
+
+
+#: Back-compat view: id -> runnable ``fn(config=None, **kwargs)``.
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    eid: _entry(spec) for eid, spec in SPECS.items()
 }
 
 
 def experiment_ids() -> list[str]:
-    return list(EXPERIMENTS)
+    return list(SPECS)
 
 
-def run_experiment(experiment_id: str, config=None, **kwargs) -> ExperimentResult:
-    """Regenerate one paper artifact by id (``fig6`` ... ``table1``)."""
+def get_spec(experiment_id: str) -> ExperimentSpec:
+    """The declarative spec behind one artifact id."""
     try:
-        fn = EXPERIMENTS[experiment_id]
+        return SPECS[experiment_id]
     except KeyError:
         raise ConfigError(
             f"unknown experiment {experiment_id!r}; available: {experiment_ids()}"
         ) from None
-    with telemetry.span("experiment", experiment=experiment_id):
-        telemetry.count("experiments.runs", experiment=experiment_id)
-        return fn(config, **kwargs)
+
+
+def run_experiment(experiment_id: str, config=None, **kwargs) -> ExperimentResult:
+    """Regenerate one paper artifact by id (``fig6`` ... ``table1``)."""
+    return run_spec(get_spec(experiment_id), config, **kwargs)

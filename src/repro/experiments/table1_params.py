@@ -15,15 +15,16 @@ from __future__ import annotations
 from repro.energy.accounting import CostTable
 from repro.energy.cacti import CactiModel
 from repro.energy.params import get_machine
+from repro.experiments.driver import ExperimentSpec, run_spec
 from repro.sim.report import ExperimentResult, format_table
 
-__all__ = ["run"]
+__all__ = ["SPEC", "build", "run"]
 
 EXPERIMENT_ID = "table1"
 TITLE = "Architecture parameters (Table I) with CACTI-model cross-check"
 
 
-def run(config=None, machine_name: str = "paper") -> ExperimentResult:
+def build(ctx, machine_name: str = "paper") -> ExperimentResult:
     machine = get_machine(machine_name)
     model = CactiModel()
     series: dict[str, dict[str, float]] = {}
@@ -78,3 +79,18 @@ def run(config=None, machine_name: str = "paper") -> ExperimentResult:
         table=table,
         notes="Paper quotes 0.78% overhead and a 16K-cycle sweep for the paper machine.",
     )
+
+
+SPEC = ExperimentSpec(
+    experiment_id=EXPERIMENT_ID,
+    title=TITLE,
+    build=build,
+    figure="Table I",
+    kind="paper",
+    uses_runner=False,
+)
+
+
+def run(config=None, **kwargs) -> ExperimentResult:
+    """Back-compat entry point: route the spec through the shared driver."""
+    return run_spec(SPEC, config, **kwargs)

@@ -17,8 +17,11 @@ A *scheme* is one of the five configurations compared in §V:
   cannot skip levels entirely.
 
 The scheme object carries *what to build and how to charge it*; the actual
-latency/energy arithmetic lives in :mod:`repro.sim.evaluate` so both
-simulation paths charge identically.
+latency/energy arithmetic lives in the charging kernel
+(:mod:`repro.sim.charging`), which both simulation paths consume — a
+scheme contributes its :class:`~repro.sim.charging.ProbePlan` via
+:meth:`SchemeSpec.probe_plan` and its resolved table-lookup cost, nothing
+more.
 """
 
 from __future__ import annotations
@@ -133,6 +136,14 @@ class SchemeSpec:
         if self.make_predictor is None:
             return None
         return self.make_predictor(machine)
+
+    def probe_plan(self, num_levels: int):
+        """The per-level probe modes the charging kernel needs
+        (:class:`repro.sim.charging.ProbePlan`); imported lazily because
+        ``repro.sim`` imports this module at package init."""
+        from repro.sim.charging import ProbePlan
+
+        return ProbePlan.for_scheme(num_levels, self)
 
     def resolve_lookup_energy(self, machine: MachineConfig) -> float:
         if self.lookup_energy_nj is not None:

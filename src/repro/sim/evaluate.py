@@ -1,24 +1,11 @@
 """Phase 2: scheme evaluation over a frozen outcome stream.
 
 Given the scheme-independent content trajectory from
-:mod:`repro.sim.content`, this module attributes latency and energy to one
-scheme.  The charging policy (identical in the integrated simulator):
-
-Latency per access
-    * every access pays the L1 access delay;
-    * predictor schemes add the prediction-table lookup delay (SRAM + wire)
-      to every L1 miss — "a delay between the L1 and L2 accesses" (§III);
-    * each probed level costs its data delay on a hit and its *tag* delay
-      on a miss (a parallel access discovers the miss at tag-compare time);
-      phased levels cost tag+data on a hit (serialized) and tag on a miss;
-    * main memory is free (§IV) — all gains come from skipped lookups.
-
-Dynamic energy per access
-    * a parallel probe fires both arrays regardless of outcome (the waste
-      ReDHiP eliminates); a phased probe fires tag always, data on hit;
-    * predictor schemes pay a table access per L1-miss lookup and per
-      table update, plus recalibration sweep energy;
-    * the Oracle pays nothing (a bound, "not an actual scheme").
+:mod:`repro.sim.content`, this module decides *which* levels each access
+reaches under one scheme and what the predictor answered; every latency
+and energy charge for those decisions is applied by the charging kernel
+(:mod:`repro.sim.charging` — see its docstring for the full policy, which
+the integrated simulator shares).
 
 A predicted LLC miss skips every level below L1: no probes, no latency
 beyond L1 + table, straight to (free) memory.  False negatives are
@@ -34,12 +21,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import checking, telemetry
-from repro.energy.accounting import CostTable, EnergyLedger, StaticEnergyModel
+from repro.energy.accounting import EnergyLedger
 from repro.energy.params import MachineConfig
-from repro.energy.timing import TimingModel, TimingResult
+from repro.energy.timing import TimingResult
 from repro.hierarchy.events import EVENT_FILL, OutcomeStream
 from repro.predictors.base import PresencePredictor, SchemeSpec
 from repro.sim import vector_replay
+from repro.sim.charging import ChargingKernel
 from repro.util.validation import ReproError
 from repro.workloads.trace import Workload
 
@@ -227,7 +215,7 @@ def evaluate_scheme(
     *both* paths and raises if they diverge in any observable — the
     equivalence oracle for the vectorized kernel.
     """
-    costs = CostTable(machine)
+    kernel = ChargingKernel.for_scheme(machine, scheme)
     ledger = EnergyLedger()
     h = stream.hit_level
     n = stream.num_accesses
@@ -282,20 +270,15 @@ def evaluate_scheme(
     with telemetry.span("energy_accounting", scheme=scheme.name,
                         workload=workload.name):
         # ---- latency + probe energy ------------------------------------------
-        lat = np.full(n, float(costs.level_parallel_delay(1)), dtype=np.float64)
-        ledger.charge("L1", "probe", costs.level_parallel_energy(1), n)
+        lat = kernel.charge_l1_bulk(ledger, n)
 
         if scheme.consults_table:
             # Gated predictors answer some misses without a table consult;
             # only real consults pay the lookup delay and energy.
-            lat[consulted] += scheme.resolve_lookup_delay(machine)
-            ledger.charge(
-                "PT", "lookup", scheme.resolve_lookup_energy(machine),
-                int(consulted.sum()),
-            )
+            kernel.charge_lookup_bulk(ledger, lat, consulted)
 
-        # Per-level reach/hit tallies, computed once here and reused for the
-        # per-level accounting below (they were recomputed per level before).
+        # Per-level reach/hit masks, computed once here; the kernel turns
+        # them into latency and per-category energy charges.
         level_tallies: dict[int, tuple[int, int]] = {}
         for level in range(2, num_levels + 1):
             reach = (h == 0) | (h >= level)
@@ -306,86 +289,42 @@ def evaluate_scheme(
             n_reach = int(reach.sum())
             n_hits = int(hits.sum())
             level_tallies[level] = (n_reach, n_hits)
-            n_miss = n_reach - n_hits
-            name = machine.level(level).name
-            if level in scheme.phased_levels:
-                lat[hits] += costs.level_tag_delay(level) + costs.level_data_delay(level)
-                lat[misses] += costs.level_tag_delay(level)
-                ledger.charge(name, "tag", costs.level_tag_energy(level), n_reach)
-                ledger.charge(name, "data", costs.level_data_energy(level), n_hits)
-            elif level in scheme.way_predicted_levels:
-                # MRU-way prediction [12]: tag array plus one speculative data
-                # way per probe; an MRU hit (rank 0) finishes at the normal
-                # delay, a non-MRU hit pays a second serialized data access.
-                assoc = machine.level(level).assoc
-                way_energy = costs.level_data_energy(level) / assoc
-                mru_hits = hits & (stream.hit_rank == 0)
-                slow_hits = hits & (stream.hit_rank > 0)
-                lat[mru_hits] += costs.level_parallel_delay(level)
-                lat[slow_hits] += costs.level_parallel_delay(level) + costs.level_data_delay(level)
-                lat[misses] += costs.level_tag_delay(level)
-                ledger.charge(name, "tag", costs.level_tag_energy(level), n_reach)
-                ledger.charge(name, "data", way_energy, n_reach)
-                ledger.charge(name, "data", way_energy, int(slow_hits.sum()))
-            else:
-                lat[hits] += costs.level_parallel_delay(level)
-                lat[misses] += costs.level_tag_delay(level)
-                ledger.charge(name, "probe", costs.level_parallel_energy(level), n_reach)
+            kernel.charge_level_bulk(
+                ledger, lat, level, hits, misses, n_reach, n_hits,
+                hit_rank=stream.hit_rank,
+            )
 
         # ---- main memory (the paper's free data store unless configured) -----
-        if dram is not None:
-            # Pattern-dependent DRAM: replay memory accesses in run order; the
-            # trajectory is scheme-independent, so every scheme sees the same
-            # bank/row sequence (each evaluation replays a fresh model).
-            from repro.energy.dram import DramConfig, DramModel
-
-            model = DramModel(dram if isinstance(dram, DramConfig) else None)
-            mem_mask = h == 0
-            mem_lat, mem_energy = model.access_stream(stream.block[mem_mask])
-            lat[mem_mask] += mem_lat
-            ledger.counts[("MEM", "access")] += true_misses
-            ledger.energy_nj[("MEM", "access")] += float(mem_energy.sum())
-        else:
-            if memory_latency > 0.0:
-                lat[h == 0] += memory_latency
-            if memory_energy_nj > 0.0:
-                ledger.charge("MEM", "access", memory_energy_nj, true_misses)
+        kernel.charge_memory_bulk(
+            ledger, lat, h == 0, stream.block, true_misses,
+            memory_latency=memory_latency, memory_energy_nj=memory_energy_nj,
+            dram=dram,
+        )
 
         # ---- fills (optional accounting, identical across schemes) -----------
-        if fill_energy_weight > 0.0:
-            for level in range(1, num_levels + 1):
-                fills = true_misses
-                if level < num_levels:
-                    fills += int((h > level).sum())
-                name = machine.level(level).name
-                ledger.charge(
-                    name, "fill", fill_energy_weight * costs.level_data_energy(level), fills
-                )
+        kernel.charge_fills_bulk(ledger, h, true_misses, fill_energy_weight)
 
         # ---- memory-level parallelism (1.0 = the paper's serialized model) ---
-        if mlp != 1.0:
-            d1 = float(costs.level_parallel_delay(1))
-            lat = d1 + (lat - d1) / mlp
+        lat = kernel.mlp_adjust(lat, mlp)
 
         # ---- predictor maintenance -------------------------------------------
         predictor_stats: dict = {}
         if predictor is not None:
-            updates = int(getattr(predictor, "table_updates", 0))
-            ledger.charge("PT", "update", costs.pt_update_energy, updates)
-            recal_nj = predictor.maintenance_energy_nj()
-            if recal_nj:
-                ledger.charge("PT", "recal", recal_nj, 1)
+            kernel.charge_predictor_maintenance(
+                ledger, getattr(predictor, "table_updates", 0),
+                predictor.maintenance_energy_nj(),
+            )
             predictor_stats = predictor.stats()
 
         # ---- timing ------------------------------------------------------------
-        timing = TimingModel(machine).run(
+        timing = kernel.run_timing(
             core_ids=stream.core.astype(np.int64),
             gaps=stream.gap,
             latencies=lat,
             cpis=workload.cpis,
             stall_cycles=stall,
         )
-        static_nj = StaticEnergyModel(machine).static_energy_nj(
+        static_nj = kernel.static_energy_nj(
             timing.exec_cycles, include_pt=scheme.consults_table
         )
 

@@ -14,9 +14,11 @@ simulator organization.  It exists for three reasons:
    changes which levels are probed based on per-level state that only
    exists during the walk.
 
-Charging policy is identical to :mod:`repro.sim.evaluate` (see that module
-docstring); prefetch probes are charged to a separate ``prefetch`` category
-so Figure 15 can show where the prefetch energy goes.
+All latency/energy charges go through the same charging kernel as the
+two-phase path (:mod:`repro.sim.charging` — see its docstring for the
+policy), so the equivalence is structural, not duplicated; prefetch probes
+are charged to the kernel's ``prefetch`` category so Figure 15 can show
+where the prefetch energy goes.
 """
 
 from __future__ import annotations
@@ -27,12 +29,13 @@ import numpy as np
 
 from repro import checking, telemetry
 from repro.core.exclusive import ExclusiveReDHiP
-from repro.energy.accounting import CostTable, EnergyLedger, StaticEnergyModel
+from repro.energy.accounting import EnergyLedger
 from repro.energy.timing import TimingResult
 from repro.hierarchy.hierarchy import CacheHierarchy
 from repro.hierarchy.inclusion import InclusionPolicy
 from repro.predictors.base import SchemeSpec
 from repro.prefetch.stride import StridePrefetcher
+from repro.sim.charging import ChargingKernel, resolve_dram_model
 from repro.sim.config import SimConfig
 from repro.sim.content import merge_order
 from repro.sim.evaluate import SchemeResult
@@ -95,7 +98,7 @@ class IntegratedSimulator:
             )
 
         num_levels = machine.num_levels
-        costs = CostTable(machine)
+        kernel = ChargingKernel.for_scheme(machine, scheme)
         ledger = EnergyLedger()
 
         pending: list[tuple[int, int]] = []  # (op, block) at the LLC
@@ -149,15 +152,9 @@ class IntegratedSimulator:
             and hasattr(predictor, "_index")
         ):
             predictor = checking.CheckedPredictor(predictor, hier, ctx, pending)
-        lookup_delay = scheme.resolve_lookup_delay(machine)
-        lookup_energy = scheme.resolve_lookup_energy(machine)
         oracle = scheme.kind == "oracle"
         skipper = scheme.skips_on_predicted_miss
-        dram_model = None
-        if cfg.dram is not None:
-            from repro.energy.dram import DramConfig, DramModel
-
-            dram_model = DramModel(cfg.dram if isinstance(cfg.dram, DramConfig) else None)
+        dram_model = resolve_dram_model(cfg.dram)
 
         prefetchers = None
         if prefetch is not None:
@@ -165,18 +162,6 @@ class IntegratedSimulator:
                 StridePrefetcher(entries=prefetch.entries, degree=prefetch.degree)
                 for _ in range(machine.cores)
             ]
-
-        # Per-level cost constants (index by level number).
-        tag_d = [0] + [costs.level_tag_delay(j) for j in range(1, num_levels + 1)]
-        par_d = [0] + [costs.level_parallel_delay(j) for j in range(1, num_levels + 1)]
-        dat_d = [0] + [costs.level_data_delay(j) for j in range(1, num_levels + 1)]
-        tag_e = [0.0] + [costs.level_tag_energy(j) for j in range(1, num_levels + 1)]
-        data_e = [0.0] + [costs.level_data_energy(j) for j in range(1, num_levels + 1)]
-        par_e = [0.0] + [costs.level_parallel_energy(j) for j in range(1, num_levels + 1)]
-        names = [""] + [machine.level(j).name for j in range(1, num_levels + 1)]
-        assocs = [0] + [machine.level(j).assoc for j in range(1, num_levels + 1)]
-        phased = set(scheme.phased_levels)
-        waypred = set(scheme.way_predicted_levels)
 
         merged_core, merged_idx = merge_order(workload)
         blocks = [t.blocks.tolist() for t in workload.traces]
@@ -196,29 +181,14 @@ class IntegratedSimulator:
         level_lookups = dict.fromkeys(range(1, num_levels + 1), 0)
         level_hits = dict.fromkeys(range(1, num_levels + 1), 0)
 
+        kernel_probe = kernel.charge_probe  # bound once for the hot loop
+
         def charge_probe(level: int, hit: bool, rank: int = -1) -> float:
-            """Charge one demand probe; returns its latency contribution."""
+            """Tally one demand probe and charge it through the kernel."""
             level_lookups[level] += 1
             if hit:
                 level_hits[level] += 1
-            if level in phased:
-                ledger.charge(names[level], "tag", tag_e[level], 1)
-                if hit:
-                    ledger.charge(names[level], "data", data_e[level], 1)
-                    return tag_d[level] + dat_d[level]
-                return tag_d[level]
-            if level in waypred:
-                way_energy = data_e[level] / assocs[level]
-                ledger.charge(names[level], "tag", tag_e[level], 1)
-                ledger.charge(names[level], "data", way_energy, 1)
-                if hit:
-                    if rank == 0:
-                        return par_d[level]
-                    ledger.charge(names[level], "data", way_energy, 1)
-                    return par_d[level] + dat_d[level]
-                return tag_d[level]
-            ledger.charge(names[level], "probe", par_e[level], 1)
-            return par_d[level] if hit else tag_d[level]
+            return kernel_probe(ledger, level, hit, rank)
 
         access = hier.access
         if checker is not None:
@@ -237,9 +207,8 @@ class IntegratedSimulator:
         for core, idx in zip(merged_core.tolist(), merged_idx.tolist()):
             block = blocks[core][idx]
             hl = access(core, block, writes[core][idx])
-            lat = float(par_d[1])
+            lat = kernel.charge_l1(ledger)
             level_lookups[1] += 1
-            ledger.charge("L1", "probe", par_e[1], 1)
             if hl == 1:
                 level_hits[1] += 1
             else:
@@ -249,8 +218,7 @@ class IntegratedSimulator:
                 if predictor is not None:
                     predicted = predictor.predict_present(block)
                     if predictor.last_consulted:
-                        lat += lookup_delay
-                        ledger.charge("PT", "lookup", lookup_energy, 1)
+                        lat += kernel.charge_lookup(ledger)
                     stall += predictor.note_l1_miss()
                 elif oracle:
                     predicted = hl != 0
@@ -271,13 +239,11 @@ class IntegratedSimulator:
                         false_positives += 1
                 if hl == 0:
                     if dram_model is not None:
-                        d_lat, d_energy = dram_model.access(block)
-                        lat += d_lat
-                        ledger.charge("MEM", "access", d_energy, 1)
+                        lat += kernel.charge_dram(ledger, dram_model, block)
                     else:
-                        lat += cfg.memory_latency
-                        if cfg.memory_energy_nj > 0.0:
-                            ledger.charge("MEM", "access", cfg.memory_energy_nj, 1)
+                        lat += kernel.charge_memory(
+                            ledger, cfg.memory_latency, cfg.memory_energy_nj
+                        )
                 # Apply this access's LLC events after the lookup raced them.
                 if predictor is not None and pending:
                     for op, eb in pending:
@@ -290,7 +256,7 @@ class IntegratedSimulator:
             pending.clear()
 
             if cfg.mlp != 1.0:
-                lat = par_d[1] + (lat - par_d[1]) / cfg.mlp
+                lat = kernel.mlp_adjust(lat, cfg.mlp)
 
             if prefetchers is not None:
                 # The RPT observes every reference (the original
@@ -301,8 +267,8 @@ class IntegratedSimulator:
                 pf.note_demand(block)
                 for target in pf.train(pcs[core][idx], addrs[core][idx]):
                     self._issue_prefetch(
-                        hier, predictor, costs, ledger, pending,
-                        core, target, lookup_energy, pf,
+                        hier, predictor, kernel, ledger, pending, core,
+                        target, pf,
                     )
 
             compute = gaps[core][idx] * cpis[core]
@@ -317,12 +283,11 @@ class IntegratedSimulator:
         )
         predictor_stats = predictor.stats() if predictor is not None else {}
         if predictor is not None:
-            updates = int(getattr(predictor, "table_updates", 0))
-            ledger.charge("PT", "update", costs.pt_update_energy, updates)
-            recal_nj = predictor.maintenance_energy_nj()
-            if recal_nj:
-                ledger.charge("PT", "recal", recal_nj, 1)
-        static_nj = StaticEnergyModel(machine).static_energy_nj(
+            kernel.charge_predictor_maintenance(
+                ledger, getattr(predictor, "table_updates", 0),
+                predictor.maintenance_energy_nj(),
+            )
+        static_nj = kernel.static_energy_nj(
             timing.exec_cycles, include_pt=scheme.consults_table
         )
         hit_rates = {
@@ -359,14 +324,12 @@ class IntegratedSimulator:
             checking.check_result(result, ctx)
         return result
 
-    def _issue_prefetch(self, hier, predictor, costs, ledger, pending,
-                        core, target, lookup_energy, prefetcher) -> None:
+    def _issue_prefetch(self, hier, predictor, kernel, ledger, pending,
+                        core, target, prefetcher) -> None:
         """One prefetch request: optional ReDHiP filter, probes, fill."""
-        machine = self.config.machine
-        num_levels = machine.num_levels
         probe_allowed = True
         if predictor is not None:
-            ledger.charge("PT", "lookup", lookup_energy, 1)
+            kernel.charge_lookup(ledger)  # filter consult; no demand latency
             if not predictor.predict_present(target):
                 probe_allowed = False  # straight to memory, no probes
         found = hier.prefetch_fill(core, target)
@@ -375,10 +338,7 @@ class IntegratedSimulator:
         if not probe_allowed and found != 0:
             raise ReproError("false negative on a prefetch probe")
         if probe_allowed:
-            top = found if found >= 2 else num_levels
-            for level in range(2, top + 1):
-                name = machine.level(level).name
-                ledger.charge(name, "prefetch", costs.level_parallel_energy(level), 1)
+            kernel.charge_prefetch_probes(ledger, found)
         prefetcher.mark_issued(target)
         # The fill's LLC events must reach the predictor (bits set for
         # prefetched blocks), after the filter consulted pre-fill state.
@@ -407,7 +367,9 @@ class IntegratedSimulator:
         if cfg.policy is not InclusionPolicy.EXCLUSIVE:
             raise ConfigError("run_exclusive_redhip requires the exclusive policy")
         num_levels = machine.num_levels
-        costs = CostTable(machine)
+        # Exclusive ReDHiP probes every level in parallel mode; the lookup
+        # cost defaults to the machine's prediction-table parameters.
+        kernel = ChargingKernel(machine)
         ledger = EnergyLedger()
         stack = ExclusiveReDHiP(machine, recal_period=recal_period)
 
@@ -423,14 +385,7 @@ class IntegratedSimulator:
             machine, policy=cfg.policy, replacement=cfg.replacement,
             on_fill=on_fill, on_evict=on_evict, seed=cfg.seed,
         )
-        lookup_delay = machine.prediction_table.lookup_delay
-        lookup_energy = machine.prediction_table.access_energy
         n_tables = len(stack.levels)
-
-        tag_d = [0] + [costs.level_tag_delay(j) for j in range(1, num_levels + 1)]
-        par_d = [0] + [costs.level_parallel_delay(j) for j in range(1, num_levels + 1)]
-        par_e = [0.0] + [costs.level_parallel_energy(j) for j in range(1, num_levels + 1)]
-        names = [""] + [machine.level(j).name for j in range(1, num_levels + 1)]
 
         merged_core, merged_idx = merge_order(workload)
         blocks = [t.blocks.tolist() for t in workload.traces]
@@ -449,9 +404,8 @@ class IntegratedSimulator:
         for core, idx in zip(merged_core.tolist(), merged_idx.tolist()):
             block = blocks[core][idx]
             hl = access(core, block, writes[core][idx])
-            lat = float(par_d[1])
+            lat = kernel.charge_l1(ledger)
             level_lookups[1] += 1
-            ledger.charge("L1", "probe", par_e[1], 1)
             if hl == 1:
                 level_hits[1] += 1
             else:
@@ -459,8 +413,9 @@ class IntegratedSimulator:
                 if hl == 0:
                     true_misses += 1
                 predicted_levels = stack.predict_levels(block)
-                lat += lookup_delay  # tables consulted in parallel
-                ledger.charge("PT", "lookup", lookup_energy, n_tables)
+                # Per-level tables are consulted in parallel: one wire
+                # delay, one access energy per table.
+                lat += kernel.charge_lookup(ledger, count=n_tables)
                 stall += stack.note_l1_miss()
                 if hl >= 2 and hl not in predicted_levels:
                     raise ReproError(
@@ -474,12 +429,11 @@ class IntegratedSimulator:
                             break
                         hit = level == hl
                         level_lookups[level] += 1
-                        ledger.charge(names[level], "probe", par_e[level], 1)
                         if hit:
                             level_hits[level] += 1
-                            lat += par_d[level]
+                        lat += kernel.charge_probe(ledger, level, hit)
+                        if hit:
                             break
-                        lat += tag_d[level]
                     if hl == 0 and predicted_levels:
                         false_positives += 1
                 for op, level, eb in pending:
@@ -499,13 +453,10 @@ class IntegratedSimulator:
             stall_cycles=stall,
         )
         # Table writes: one per fill event at any level's table.
-        ledger.charge("PT", "update", costs.pt_update_energy, stack.table_updates)
-        recal_nj = stack.maintenance_energy_nj()
-        if recal_nj:
-            ledger.charge("PT", "recal", recal_nj, 1)
-        static_nj = StaticEnergyModel(machine).static_energy_nj(
-            timing.exec_cycles, include_pt=True
+        kernel.charge_predictor_maintenance(
+            ledger, stack.table_updates, stack.maintenance_energy_nj()
         )
+        static_nj = kernel.static_energy_nj(timing.exec_cycles, include_pt=True)
         hit_rates = {
             lvl: (level_hits[lvl] / level_lookups[lvl] if level_lookups[lvl] else 0.0)
             for lvl in level_lookups

@@ -19,6 +19,7 @@ __all__ = [
     "dynamic_energy_table",
     "perf_energy_table",
     "hit_rate_table",
+    "scheme_comparison_table",
     "add_average",
 ]
 
@@ -145,3 +146,26 @@ def hit_rate_table(
     for bench, res in results.items():
         series[bench] = {f"L{lvl}": res.hit_rates[lvl] for lvl in range(1, num_levels + 1)}
     return series
+
+
+def scheme_comparison_table(
+    results: dict[str, SchemeResult], value_format: str = "{:.4g}"
+) -> str:
+    """Per-scheme dynamic energy broken down by charging-kernel category.
+
+    Rows are the kernel's category names (:data:`repro.sim.charging.
+    ENERGY_CATEGORIES`, in report order), columns the schemes.  Every
+    (category, scheme) cell is populated — a scheme that never pays a
+    category shows an explicit 0, never ``"-"`` — so WayPred's tag/data
+    split and Oracle's zeroed lookup/update/recal columns line up
+    directly against the schemes that do pay them.
+    """
+    from repro.sim.charging import ENERGY_CATEGORIES
+
+    series: dict[str, dict[str, float]] = {
+        cat: {name: res.ledger.category_nj(cat) for name, res in results.items()}
+        for cat in ENERGY_CATEGORIES
+    }
+    columns = list(results)
+    return format_table(series, columns, value_format=value_format,
+                        row_header="category (nJ)")

@@ -115,17 +115,26 @@ class ExperimentRunner:
         """
         workload_name = self._resolve(workload_name)
         cfg = self.config if policy is None else self.config.with_policy(policy)
+        self._check_policy(scheme, cfg)
+        stream = self.stream(workload_name, policy=cfg.policy)
+        return self._evaluate(stream, self.workload(workload_name), scheme, cfg)
+
+    @staticmethod
+    def _check_policy(scheme: SchemeSpec, cfg: SimConfig) -> None:
         if scheme.kind == "predictor" and not cfg.policy.llc_is_superset:
             raise ConfigError(
                 "two-phase evaluation of predictor schemes needs an "
                 "LLC-superset (inclusive/hybrid) policy"
             )
-        stream = self.stream(workload_name, policy=cfg.policy)
+
+    @staticmethod
+    def _evaluate(stream: OutcomeStream, workload: Workload,
+                  scheme: SchemeSpec, cfg: SimConfig) -> SchemeResult:
         return evaluate_scheme(
             stream,
             cfg.machine,
             scheme,
-            self.workload(workload_name),
+            workload,
             fill_energy_weight=cfg.fill_energy_weight,
             memory_latency=cfg.memory_latency,
             memory_energy_nj=cfg.memory_energy_nj,
@@ -138,13 +147,25 @@ class ExperimentRunner:
         self, workload_names, schemes: list[SchemeSpec],
         policy: InclusionPolicy | str | None = None,
     ) -> dict[str, dict[str, SchemeResult]]:
-        """Evaluate every scheme on every workload: {workload: {scheme: result}}."""
+        """Evaluate every scheme on every workload: {workload: {scheme: result}}.
+
+        Each workload's content walk is resolved exactly once and the
+        frozen outcome stream is shared across all schemes in the matrix —
+        the stream and workload lookups don't repeat per (workload,
+        scheme) pair.
+        """
+        cfg = self.config if policy is None else self.config.with_policy(policy)
+        for scheme in schemes:
+            self._check_policy(scheme, cfg)
         out: dict[str, dict[str, SchemeResult]] = {}
         for wname in workload_names:
-            row: dict[str, SchemeResult] = {}
-            for scheme in schemes:
-                row[scheme.name] = self.run(wname, scheme, policy=policy)
-            out[wname] = row
+            wname = self._resolve(wname)
+            stream = self.stream(wname, policy=cfg.policy)
+            workload = self.workload(wname)
+            out[wname] = {
+                scheme.name: self._evaluate(stream, workload, scheme, cfg)
+                for scheme in schemes
+            }
         return out
 
     # ------------------------------------------------------------ one-phase

@@ -48,6 +48,7 @@ from repro.core.recalibration import RecalibrationEngine
 from repro.core.redhip import ReDHiPController
 from repro.hierarchy.events import EVENT_FILL, OutcomeStream
 from repro.predictors.hashes import bits_hash_array, xor_hash_array
+from repro.sim.charging import recal_stall_cycles
 from repro.util.validation import ConfigError
 
 __all__ = ["NO_VECTOR_ENV", "eligible", "replay_redhip_vectorized",
@@ -195,7 +196,7 @@ def replay_redhip_vectorized(
     predictor.table_updates += total_fills
     engine.l1_misses = start_misses + n_miss
     engine.sweeps += sweeps
-    stall = float(sweeps * engine.cost.cycles)
+    stall = recal_stall_cycles(sweeps, engine.cost)
     telemetry.count("replay.epochs", epochs)
     telemetry.count("replay.sweeps", sweeps)
 

@@ -1,0 +1,41 @@
+"""The charging-drift guard itself is tier-1: the suite fails the moment
+latency/energy arithmetic leaks back into a simulation path."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).parent.parent
+SCRIPT = ROOT / "scripts" / "check_charging_drift.py"
+
+
+def test_guard_reports_clean():
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPT)], capture_output=True, text=True
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "files clean" in proc.stdout
+
+
+def test_guard_catches_a_raw_charge(tmp_path, monkeypatch):
+    """Plant a forbidden line in a copy of a guarded file and confirm the
+    guard flags it — the allowlist must not swallow new arithmetic."""
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location("check_charging_drift", SCRIPT)
+    guard = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(guard)
+
+    fake_root = tmp_path
+    for rel in guard.GUARDED:
+        src = ROOT / rel
+        dst = fake_root / rel
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        dst.write_text(src.read_text())
+    target = fake_root / guard.GUARDED[0]
+    target.write_text(target.read_text() + "\nx = CostTable(machine)\n")
+
+    monkeypatch.setattr(guard, "ROOT", fake_root)
+    assert guard.main() == 1

@@ -1,0 +1,77 @@
+"""Cross-path charging equivalence matrix.
+
+The single-source charging kernel (:mod:`repro.sim.charging`) is the only
+place latency and energy arithmetic may live.  This matrix pins the
+consequence: for every scheme family and for both replay variants
+(vectorized ReDHiP kernel and the sequential fallback), the integrated
+one-pass simulator and the two-phase path must charge identically —
+counts exact, floats to 1e-9.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.redhip import redhip_scheme
+from repro.predictors.base import (
+    base_scheme,
+    oracle_scheme,
+    phased_scheme,
+    waypred_scheme,
+)
+from repro.predictors.cbf_scheme import cbf_scheme
+from repro.sim import vector_replay
+from repro.sim.integrated import IntegratedSimulator
+from repro.sim.runner import ExperimentRunner
+
+SCHEMES = {
+    "base": lambda cfg: base_scheme(),
+    "phased": lambda cfg: phased_scheme(),
+    "waypred": lambda cfg: waypred_scheme(),
+    "oracle": lambda cfg: oracle_scheme(),
+    "cbf": lambda cfg: cbf_scheme(),
+    "redhip": lambda cfg: redhip_scheme(recal_period=cfg.recal_period),
+}
+
+
+def assert_charged_equal(a, b):
+    """Counts exact, energies/cycles to 1e-9, every ledger component."""
+    assert a.l1_misses == b.l1_misses
+    assert a.true_misses == b.true_misses
+    assert a.skips == b.skips
+    assert a.false_positives == b.false_positives
+    assert a.level_lookups == b.level_lookups
+    assert a.level_hits == b.level_hits
+    assert math.isclose(a.exec_cycles, b.exec_cycles, rel_tol=1e-9)
+    assert math.isclose(a.dynamic_nj, b.dynamic_nj, rel_tol=1e-9)
+    assert math.isclose(a.static_nj, b.static_nj, rel_tol=1e-9)
+    assert math.isclose(a.recal_stall_cycles, b.recal_stall_cycles, rel_tol=1e-9)
+    for comp in set(a.ledger.breakdown()) | set(b.ledger.breakdown()):
+        assert math.isclose(
+            a.ledger.component_nj(comp), b.ledger.component_nj(comp), rel_tol=1e-9
+        ), comp
+
+
+@pytest.mark.parametrize("replay", ["vectorized", "sequential"])
+@pytest.mark.parametrize("scheme_name", sorted(SCHEMES))
+def test_integrated_matches_two_phase(
+    tiny_config, tiny_workload, scheme_name, replay, monkeypatch
+):
+    if replay == "sequential":
+        monkeypatch.setenv(vector_replay.NO_VECTOR_ENV, "1")
+    scheme = SCHEMES[scheme_name](tiny_config)
+    fast = ExperimentRunner(tiny_config).run(tiny_workload, scheme)
+    slow = IntegratedSimulator(tiny_config).run(tiny_workload, scheme)
+    assert_charged_equal(fast, slow)
+
+
+def test_replay_variants_agree(tiny_config, tiny_workload, monkeypatch):
+    """The vectorized ReDHiP replay and the sequential fallback are the
+    same computation: identical ledgers, not merely close totals."""
+    scheme = redhip_scheme(recal_period=tiny_config.recal_period)
+    vec = ExperimentRunner(tiny_config).run(tiny_workload, scheme)
+    monkeypatch.setenv(vector_replay.NO_VECTOR_ENV, "1")
+    seq = ExperimentRunner(tiny_config).run(tiny_workload, scheme)
+    assert_charged_equal(vec, seq)

@@ -1,0 +1,100 @@
+"""Unit tests for the single-source charging kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy.accounting import EnergyLedger
+from repro.energy.dram import DramConfig, DramModel
+from repro.predictors.base import base_scheme, phased_scheme, waypred_scheme
+from repro.sim.charging import (
+    PROBE_PARALLEL,
+    PROBE_PHASED,
+    PROBE_WAYPRED,
+    ChargingKernel,
+    ProbePlan,
+    recal_stall_cycles,
+    resolve_dram_model,
+)
+
+
+def _kernels(machine):
+    """One kernel per probe mode family, built the way the simulators do."""
+    return {
+        PROBE_PARALLEL: ChargingKernel.for_scheme(machine, base_scheme()),
+        PROBE_PHASED: ChargingKernel.for_scheme(machine, phased_scheme()),
+        PROBE_WAYPRED: ChargingKernel.for_scheme(machine, waypred_scheme()),
+    }
+
+
+# ------------------------------------------------------------- ProbePlan
+def test_probe_plan_rejects_unknown_mode():
+    with pytest.raises(ValueError, match="unknown probe mode"):
+        ProbePlan(modes=("parallel", "sideways"))
+
+
+def test_probe_plan_for_scheme_maps_levels(tiny_machine):
+    n = tiny_machine.num_levels
+    plan = ProbePlan.for_scheme(n, phased_scheme(levels=(3, 4)))
+    assert plan.mode(1) == PROBE_PARALLEL
+    assert plan.mode(3) == PROBE_PHASED
+    plan = ProbePlan.for_scheme(n, waypred_scheme(levels=(4,)))
+    assert plan.mode(4) == PROBE_WAYPRED
+    assert plan.mode(2) == PROBE_PARALLEL
+
+
+def test_kernel_rejects_wrong_plan_length(tiny_machine):
+    short = ProbePlan(modes=(PROBE_PARALLEL,))
+    with pytest.raises(ValueError, match="probe plan covers"):
+        ChargingKernel(tiny_machine, plan=short)
+
+
+# ------------------------------------- describe_probe mirrors charge_probe
+@pytest.mark.parametrize("hit", [True, False])
+@pytest.mark.parametrize("rank", [-1, 0, 2])
+def test_describe_probe_matches_charge_probe(tiny_machine, hit, rank):
+    """The introspectable AccessCharge must replay to exactly what the
+    fast path charges — latency, ledger lines, and totals."""
+    for kernel in _kernels(tiny_machine).values():
+        for level in range(2, kernel.num_levels + 1):
+            fast = EnergyLedger()
+            lat_fast = kernel.charge_probe(fast, level, hit, rank)
+            desc = kernel.describe_probe(level, hit, rank)
+            replayed = EnergyLedger()
+            lat_slow = desc.apply(replayed)
+            assert lat_slow == lat_fast
+            assert replayed.energy_nj == fast.energy_nj
+            assert replayed.counts == fast.counts
+            assert desc.energy_nj == pytest.approx(
+                sum(fast.energy_nj.values()), rel=1e-12
+            )
+
+
+def test_waypred_rank_zero_is_cheaper(tiny_machine):
+    """A correct way prediction reads one way and keeps parallel latency;
+    a mispredicted way pays a second data read plus the data delay."""
+    kernel = _kernels(tiny_machine)[PROBE_WAYPRED]
+    level = kernel.num_levels  # way-predicted by default
+    good = kernel.describe_probe(level, hit=True, rank=0)
+    bad = kernel.describe_probe(level, hit=True, rank=2)
+    assert good.latency < bad.latency
+    assert good.energy_nj < bad.energy_nj
+
+
+# -------------------------------------------------------- module helpers
+def test_recal_stall_cycles():
+    class Cost:
+        cycles = 37.5
+
+    assert recal_stall_cycles(4, Cost()) == pytest.approx(150.0)
+    assert recal_stall_cycles(0, Cost()) == 0.0
+
+
+def test_resolve_dram_model():
+    assert resolve_dram_model(None) is None
+    cfg = DramConfig()
+    model = resolve_dram_model(cfg)
+    assert isinstance(model, DramModel)
+    assert model.config is cfg
+    # Any non-DramConfig truthy marker gets the default model.
+    assert isinstance(resolve_dram_model(True).config, DramConfig)

@@ -1,0 +1,94 @@
+"""The declarative spec registry, the shared driver, and its CLI verbs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.energy.params import get_machine
+from repro.experiments import SPECS, clear_cache, get_spec, run_spec
+from repro.sim.config import SimConfig
+from repro.sim.report import scheme_comparison_table
+from repro.util.validation import ConfigError
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+# ------------------------------------------------------------- registry
+def test_every_spec_is_complete():
+    for eid, spec in SPECS.items():
+        assert spec.experiment_id == eid
+        assert spec.title
+        assert callable(spec.build)
+        assert spec.kind in ("paper", "extension", "ablation")
+
+
+def test_get_spec_unknown_id():
+    with pytest.raises(ConfigError, match="unknown experiment"):
+        get_spec("fig99")
+
+
+def test_run_spec_smoke_applies_overrides():
+    cfg = SimConfig(machine=get_machine("tiny"), refs_per_core=1500, seed=7)
+    spec = get_spec("fig6")
+    res = run_spec(spec, cfg, smoke=True)
+    # The smoke override trims the sweep to two workloads (plus average).
+    assert set(res.series) == {"mcf", "bwaves", "average"}
+
+
+def test_run_spec_kwargs_beat_smoke_defaults():
+    cfg = SimConfig(machine=get_machine("tiny"), refs_per_core=1500, seed=7)
+    res = run_spec(get_spec("fig6"), cfg, smoke=True, workloads=("soplex",))
+    assert set(res.series) == {"soplex", "average"}
+
+
+# ------------------------------------------------------------------ CLI
+def test_cli_experiments_ls(capsys):
+    assert main(["experiments", "ls"]) == 0
+    out = capsys.readouterr().out
+    assert "fig6" in out and "ext-gating" in out and "ablation-hash" in out
+    assert f"{len(SPECS)} experiments" in out
+
+
+def test_cli_experiments_ls_kind_filter(capsys):
+    assert main(["experiments", "ls", "--kind", "ablation"]) == 0
+    out = capsys.readouterr().out
+    assert "ablation-hash" in out
+    assert "fig6" not in out and "ext-gating" not in out
+
+
+def test_cli_experiments_smoke_subset(tmp_path, capsys):
+    rc = main(["experiments", "smoke", "--kind", "ablation", "--refs", "800",
+               "--out", str(tmp_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "all specs ran" in out
+    produced = {p.stem for p in tmp_path.glob("*.md")}
+    assert produced == {e for e, s in SPECS.items() if s.kind == "ablation"}
+
+
+# --------------------------------------------------- scheme comparison
+def test_scheme_comparison_table_rows_and_zeros(tiny_runner):
+    from repro.core.redhip import redhip_scheme
+    from repro.predictors.base import base_scheme
+
+    cfg = tiny_runner.config
+    results = {
+        "Base": tiny_runner.run("mcf", base_scheme()),
+        "ReDHiP": tiny_runner.run("mcf", redhip_scheme(recal_period=cfg.recal_period)),
+    }
+    table = scheme_comparison_table(results)
+    from repro.sim.charging import ENERGY_CATEGORIES
+
+    for cat in ENERGY_CATEGORIES:
+        assert cat in table
+    # Base never touches the prediction table: the cell must be an explicit
+    # zero, not a "-" placeholder.
+    lookup_row = next(l for l in table.splitlines() if l.startswith("lookup"))
+    assert "-" not in lookup_row.replace("lookup", "")
+    assert "0" in lookup_row
