@@ -11,7 +11,8 @@ exactly once (``pedantic`` with one round) — the timing numbers measure
 the cost of regenerating the artifact, not statistical micro-variance.
 
 Environment knobs: ``REPRO_MACHINE`` (scaled/paper) and
-``REPRO_BENCH_REFS`` (references per core; default 80000).
+``REPRO_BENCH_REFS`` (references per core; default 160000 — doubled from
+80000 once the vectorized cold path paid for it).
 """
 
 from __future__ import annotations

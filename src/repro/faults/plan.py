@@ -49,6 +49,9 @@ SITES: dict[str, frozenset] = {
     "parallel.pool": frozenset({"spawn_fail"}),
     # Saved trace files (repro.workloads.tracefile)
     "tracefile.load": frozenset({"short_read", "io_error"}),
+    # Vectorized content walk (repro.sim.content); recovery is the
+    # sequential-walk fallback, which is bit-identical by construction.
+    "content.vector_walk": frozenset({"exception"}),
 }
 
 

@@ -10,9 +10,9 @@ Environment knobs honoured by the benchmark/experiment layer:
 ``REPRO_MACHINE``
     ``scaled`` (default) or ``paper``.
 ``REPRO_BENCH_REFS``
-    References per core for benchmark runs (default 80 000 — long enough for
-    steady-state LLC churn on the scaled machine while keeping a full
-    figure regeneration in minutes).
+    References per core for benchmark runs (default 160 000 — long enough
+    for steady-state LLC churn on the scaled machine; the vectorized cold
+    path made doubling the old 80 000 default fit the same bench budget).
 ``REPRO_STREAM_CACHE``
     Persistent stream-cache directory (``1`` selects ``.repro-cache/``);
     see :mod:`repro.sim.streamcache`.
@@ -143,5 +143,5 @@ def bench_config(machine_name: str | None = None, refs_per_core: int | None = No
                  **kwargs) -> SimConfig:
     """Build the benchmark-layer config from the environment."""
     name = machine_name or os.environ.get("REPRO_MACHINE", "scaled")
-    refs = refs_per_core or int(os.environ.get("REPRO_BENCH_REFS", "80000"))
+    refs = refs_per_core or int(os.environ.get("REPRO_BENCH_REFS", "160000"))
     return SimConfig(machine=get_machine(name), refs_per_core=refs, **kwargs)

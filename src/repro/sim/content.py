@@ -14,52 +14,63 @@ a constant — the *exact* per-access latency is scheme-dependent and would
 create a circular dependency; the paper's own trace-driven methodology has
 the same property ("the relative order of memory references is precise
 enough to simulate realistic cache behaviors").
+
+Two walk implementations produce the stream:
+
+* the **vectorized** set-bucketed walk (:mod:`repro.sim.vector_content`),
+  taken by default whenever the configuration is eligible (inclusive +
+  LRU + non-coherent) — it consumes the workload's chunked block stream
+  directly and is bit-identical to the sequential walk;
+* the **sequential** per-reference walk over the real
+  :class:`CacheHierarchy`, kept as the reference implementation, the
+  fallback for non-default configurations, and the checked-mode oracle.
+  It consumes the same block stream through the per-reference adapter
+  (:func:`repro.workloads.shared.iter_refs`).
+
+``REPRO_NO_VECTOR_WALK=1`` (or ``ContentSimulator(cfg,
+vectorized=False)``) forces the sequential path; checked mode runs both
+and asserts byte-identical streams before returning.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro import checking, telemetry
+from repro import checking, faults, telemetry
 from repro.hierarchy.events import OutcomeRecorder, OutcomeStream
 from repro.hierarchy.hierarchy import CacheHierarchy
+from repro.sim import vector_content
 from repro.sim.config import SimConfig
 from repro.util.validation import ConfigError
+from repro.workloads.shared import (
+    NOMINAL_ACCESS_CYCLES,
+    iter_refs,
+    merge_order,
+)
 from repro.workloads.trace import Workload
 
-__all__ = ["ContentSimulator", "merge_order"]
-
-#: Nominal memory cycles per access used only for interleaving.
-NOMINAL_ACCESS_CYCLES = 5.0
-
-
-def merge_order(workload: Workload) -> tuple[np.ndarray, np.ndarray]:
-    """Global access order across cores by virtual time.
-
-    Returns ``(core_of_access, index_within_core)`` arrays of the merged
-    order.  Deterministic: ties break by core id (stable mergesort).
-    """
-    vtimes = []
-    cores = []
-    idxs = []
-    for core, trace in enumerate(workload.traces):
-        cost = trace.gap.astype(np.float64) * trace.cpi + NOMINAL_ACCESS_CYCLES
-        vt = np.cumsum(cost)
-        vtimes.append(vt)
-        cores.append(np.full(trace.num_refs, core, dtype=np.int64))
-        idxs.append(np.arange(trace.num_refs, dtype=np.int64))
-    all_vt = np.concatenate(vtimes)
-    all_core = np.concatenate(cores)
-    all_idx = np.concatenate(idxs)
-    order = np.argsort(all_vt, kind="stable")
-    return all_core[order], all_idx[order]
+__all__ = ["ContentSimulator", "NOMINAL_ACCESS_CYCLES", "merge_order"]
 
 
 class ContentSimulator:
-    """Runs the content walk and freezes the outcome stream."""
+    """Runs the content walk and freezes the outcome stream.
 
-    def __init__(self, config: SimConfig) -> None:
+    ``vectorized`` selects the walk implementation: ``None`` (default)
+    auto-selects — the set-bucketed walk when the configuration is
+    eligible and ``REPRO_NO_VECTOR_WALK`` is unset, the sequential walk
+    otherwise; ``True``/``False`` force one path (forcing ``True`` on an
+    ineligible configuration raises at run time).
+    """
+
+    def __init__(self, config: SimConfig, vectorized: "bool | None" = None) -> None:
         self.config = config
+        self.vectorized = vectorized
+
+    def _use_vector(self) -> bool:
+        if self.vectorized is not None:
+            return self.vectorized
+        return (
+            vector_content.eligible(self.config)
+            and not vector_content.vector_walk_disabled()
+        )
 
     def run(self, workload: Workload, max_accesses: int | None = None) -> OutcomeStream:
         """Walk ``workload`` through the hierarchy; freeze the streams.
@@ -70,16 +81,65 @@ class ContentSimulator:
         prefix of the full one (the merge order is deterministic), but its
         fingerprint naturally differs from the full stream's.
         """
+        checked = checking.enabled(self.config)
+        use_vector = self._use_vector()
         with telemetry.span(
             "content_walk",
             workload=workload.name,
             machine=self.config.machine.name,
             policy=self.config.policy.value,
-            checked=checking.enabled(self.config),
-        ):
-            stream = self._walk(workload, max_accesses)
+            checked=checked,
+            path="vector" if use_vector else "sequential",
+        ) as span:
+            stream = None
+            if use_vector:
+                stream = self._walk_vector(workload, max_accesses, span)
+            if stream is None or checked or not use_vector:
+                sequential = self._walk(workload, max_accesses)
+                if stream is None:
+                    telemetry.count("content.sequential_walks")
+                    stream = sequential
+                else:
+                    # Checked mode: the sequential walk doubles as the
+                    # oracle — any divergence writes a replay bundle and
+                    # raises before the stream escapes.
+                    vector_content.assert_streams_equal(
+                        stream, sequential, self.config, workload.name
+                    )
+                    telemetry.count("content.dual_walks")
         telemetry.count("content.walks")
         telemetry.count("content.accesses", stream.num_accesses)
+        return stream
+
+    def _walk_vector(
+        self, workload: Workload, max_accesses: int | None, span
+    ) -> "OutcomeStream | None":
+        """One vectorized walk; ``None`` when an injected fault forces the
+        sequential fallback (the ``content.vector_walk`` chaos site)."""
+        try:
+            fired = faults.check("content.vector_walk", key=workload.name)
+            if fired is not None and fired.kind == "exception":
+                raise faults.InjectedFault(
+                    5, f"injected vector-walk failure for {workload.name!r}"
+                )
+            stream, stats = vector_content.walk_vectorized(
+                self.config, workload, max_accesses=max_accesses
+            )
+        except faults.InjectedFault as exc:
+            faults.handled(
+                "content.vector_walk", "sequential_fallback",
+                workload=workload.name, error=str(exc),
+            )
+            span.tag(path="sequential", fallback="injected_fault")
+            return None
+        span.tag(
+            chunks=stats["chunks"],
+            skipped=stats["skipped"],
+            demoted=stats["demoted"],
+        )
+        telemetry.count("content.vector_walks")
+        telemetry.count("content.vector_chunks", stats["chunks"])
+        telemetry.count("content.vector_skipped", stats["skipped"])
         return stream
 
     def _walk(self, workload: Workload, max_accesses: int | None) -> OutcomeStream:
@@ -134,38 +194,25 @@ class ContentSimulator:
         if checker is not None:
             checker.bind(hier)
 
-        merged_core, merged_idx = merge_order(workload)
-        if max_accesses is not None:
-            merged_core = merged_core[:max_accesses]
-            merged_idx = merged_idx[:max_accesses]
-
-        # Pre-extract per-core python lists: iterating numpy scalars is
-        # several times slower than list iteration in the hot loop.
-        blocks = [t.blocks.tolist() for t in workload.traces]
-        writes = [t.write.tolist() for t in workload.traces]
-        gaps = [t.gap.tolist() for t in workload.traces]
+        # The merged multi-core order arrives as the same chunked block
+        # stream the vectorized walk consumes, through the per-reference
+        # adapter — one code path producing the interleaving.
+        refs = iter_refs(workload.block_stream(max_refs=max_accesses))
 
         access = hier.access
         record = recorder.record
         if checker is None:
-            for core, idx in zip(merged_core.tolist(), merged_idx.tolist()):
-                block = blocks[core][idx]
-                write = writes[core][idx]
+            for _ref, core, block, write, gap in refs:
                 hit_level = access(core, block, write)
-                record(core, block, write, gaps[core][idx], hit_level,
-                       hier.last_hit_rank)
+                record(core, block, write, gap, hit_level, hier.last_hit_rank)
         else:
             # Checked variant of the same loop (kept separate so the
             # unchecked path pays nothing, not even a branch per access).
             after_access = checker.after_access
             ref = -1
-            for core, idx in zip(merged_core.tolist(), merged_idx.tolist()):
-                ref += 1
-                block = blocks[core][idx]
-                write = writes[core][idx]
+            for ref, core, block, write, gap in refs:
                 hit_level = access(core, block, write)
-                record(core, block, write, gaps[core][idx], hit_level,
-                       hier.last_hit_rank)
+                record(core, block, write, gap, hit_level, hier.last_hit_rank)
                 after_access(ref)
             checker.final(ref)
 

@@ -197,7 +197,12 @@ class StreamCache:
                     28, f"injected ENOSPC writing {tmp.name}"  # errno.ENOSPC
                 )
             with open(tmp, "wb") as fh:
-                np.savez_compressed(
+                # Uncompressed on purpose: outcome streams are mostly
+                # high-entropy block addresses (deflate saves little) and
+                # the compressed write dominated cold-run wall time.
+                # ``np.load`` reads both formats, so old compressed
+                # entries stay valid without a schema bump.
+                np.savez(
                     fh, meta=np.frombuffer(meta.encode(), dtype=np.uint8), **arrays
                 )
             if fired is not None and fired.kind == "partial_write":

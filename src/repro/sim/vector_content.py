@@ -1,0 +1,559 @@
+"""Vectorized content walk: set-bucketed, chunk-batched inclusive replay.
+
+:class:`repro.sim.content.ContentSimulator` walks the merged multi-core
+trace one reference at a time — a Python method call plus six list appends
+per access.  For the paper-default configuration (inclusive policy, LRU
+replacement, no coherence) that walk decomposes exactly, because of how
+set indexing works:
+
+* **Set-partition independence.**  Every level indexes sets with the low
+  bits of the block number (Figure 3), and every ``num_sets`` is a power
+  of two, so the *smallest* level's set mask is a submask of every other
+  level's.  Partition the accesses by ``block & (min_num_sets - 1)`` and
+  two accesses in different partitions touch different sets at *every*
+  level — including the shared LLC, whose back-invalidations therefore
+  never cross partitions either.  Each partition is an independent
+  sequential sub-walk; any processing order that preserves per-partition
+  order yields identical per-set LRU states, identical outcomes and
+  identical events.
+
+* **Vectorized intra-set conflict resolution.**  Sort each chunk by
+  partition (stable, so per-partition order survives) and consider an
+  access whose *previous access by the same core in the same partition*
+  touched the same block.  That predecessor left the block at rank 0 of
+  the core's L1 set, the core itself issued nothing in the partition
+  since, and no access *outside* the partition can reach that set — so
+  the access is an L1 MRU hit with exactly one exception: an intervening
+  same-partition access by another core may have evicted the block from
+  the shared LLC, whose inclusion back-invalidation kills the L1 copy.
+  The candidates (the bulk of any workload with locality — spatial runs,
+  hot sets, duplicated-trace round-robin interleaving) are resolved with
+  two vectorized sorts per chunk and never enter the Python loop; a
+  per-``(partition, core)`` carry extends the test across chunk
+  boundaries.
+
+* **Eviction-hazard repair.**  The residual Python replay (an inlined
+  per-set LRU identical in effect to
+  :meth:`CacheHierarchy._access_inclusive`, minus dirty-bit bookkeeping,
+  which provably never influences the outcome stream) tracks the hot
+  block of every ``(partition, core)`` pair.  When an LLC eviction hits
+  a block that is some pair's hot block, the pair's first still-pending
+  candidate for that block is *demoted*: re-queued (in order) into the
+  residual replay, where it replays as the memory miss it really is —
+  refilling the block and re-validating the candidates behind it.  If
+  the pair has no later access in the chunk, the cross-chunk carry is
+  invalidated instead.  Demotion is rare (a few per thousand accesses)
+  but load-bearing: it is what makes the optimistic skip *exact* rather
+  than approximate.
+
+LLC events are tagged with the originating global access index and merged
+back into chronological order with one stable sort, so the resulting
+:class:`OutcomeStream` is *byte-identical* to the sequential walk's —
+``tests/test_vector_content.py`` fuzzes this over random geometries,
+families and chunk sizes, and checked mode asserts it on every run.
+
+``REPRO_NO_VECTOR_WALK=1`` forces the sequential path everywhere
+(mirroring ``REPRO_NO_VECTOR_REPLAY``); :func:`eligible` gates the other
+policies/replacements onto the sequential path automatically.
+"""
+
+from __future__ import annotations
+
+import os
+from heapq import heappop, heappush
+
+import numpy as np
+
+from repro import checking
+from repro.hierarchy.events import EVENT_EVICT, EVENT_FILL, OutcomeStream
+from repro.hierarchy.inclusion import InclusionPolicy
+from repro.sim.config import SimConfig
+from repro.util.validation import ConfigError
+from repro.workloads.trace import Workload
+
+__all__ = [
+    "NO_VECTOR_WALK_ENV",
+    "assert_streams_equal",
+    "eligible",
+    "vector_walk_disabled",
+    "walk_vectorized",
+]
+
+#: Escape hatch: force the sequential content walk everywhere.
+NO_VECTOR_WALK_ENV = "REPRO_NO_VECTOR_WALK"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+#: Stream fields compared by the dual-path equivalence assertion, in the
+#: order divergences are reported (per-access fields first).
+_STREAM_FIELDS = (
+    "core", "block", "write", "gap", "hit_level", "hit_rank",
+    "llc_when", "llc_op", "llc_block", "final_llc_blocks",
+)
+
+
+def vector_walk_disabled() -> bool:
+    """Has the environment vetoed the vectorized walk?"""
+    return os.environ.get(NO_VECTOR_WALK_ENV, "").strip().lower() in _TRUTHY
+
+
+def eligible(config: SimConfig) -> bool:
+    """Can this configuration take the set-bucketed walk?
+
+    Exactly the paper-default content model: inclusive policy, true-LRU
+    replacement, no coherence protocol (write-invalidate snooping reaches
+    across cores *within* a set partition in ways the batched carry does
+    not model).  Power-of-two set counts are guaranteed by the machine
+    validators but re-checked here because partition independence is
+    soundness, not performance.
+    """
+    if config.policy is not InclusionPolicy.INCLUSIVE:
+        return False
+    if config.replacement != "lru":
+        return False
+    if config.coherent:
+        return False
+    return all(
+        lvl.num_sets > 0 and lvl.num_sets & (lvl.num_sets - 1) == 0
+        for lvl in config.machine.levels
+    )
+
+
+def walk_vectorized(
+    config: SimConfig,
+    workload: Workload,
+    max_accesses: "int | None" = None,
+    chunk_refs: "int | None" = None,
+) -> "tuple[OutcomeStream, dict]":
+    """The batched equivalent of ``ContentSimulator._walk``.
+
+    Returns ``(stream, stats)`` where ``stats`` carries the chunk, skip
+    and demotion counts the telemetry span tags report.  The stream is
+    byte-identical to the sequential walk's for every eligible
+    configuration.
+    """
+    if not eligible(config):
+        raise ConfigError(
+            f"config (policy={config.policy.value}, "
+            f"replacement={config.replacement!r}, coherent={config.coherent}) "
+            "is not set-bucketable; use the sequential walk"
+        )
+    machine = config.machine
+    if workload.cores != machine.cores:
+        raise ConfigError(
+            f"workload has {workload.cores} traces but machine "
+            f"{machine.name!r} has {machine.cores} cores"
+        )
+
+    num_levels = machine.num_levels
+    ncores = machine.cores
+    # Private levels 1..L-1 (index 0..L-2 below); the LLC is shared.
+    masks = [machine.level(lv).num_sets - 1 for lv in range(1, num_levels)]
+    assocs = [machine.level(lv).assoc for lv in range(1, num_levels)]
+    llc_mask = machine.llc.num_sets - 1
+    llc_assoc = machine.llc.assoc
+    pmask = min(lvl.num_sets for lvl in machine.levels) - 1
+    nparts = pmask + 1
+    ngroups = nparts * ncores          # (partition, core) pairs, flat
+
+    kwargs = {} if chunk_refs is None else {"chunk_refs": chunk_refs}
+    stream_it = workload.block_stream(max_refs=max_accesses, **kwargs)
+    n = stream_it.num_refs
+
+    hit_level = np.empty(n, dtype=np.int8)
+    hit_rank = np.empty(n, dtype=np.int8)
+
+    # Per-set LRU state: MRU-first lists in dicts keyed by set index
+    # (sparse — only touched sets materialize).
+    priv: list[list[dict]] = [
+        [dict() for _ in range(ncores)] for _ in range(num_levels - 1)
+    ]
+    llc_sets: dict = {}
+    l1_of_core = priv[0]
+    l1_mask = masks[0]
+    # Probe chain below L1 for each core: (sets, mask, level) for L2..LLC
+    # (the hit level is precomputed so the loop carries no counter).
+    deeper = [
+        [(priv[lv][c], masks[lv], lv + 1) for lv in range(1, num_levels - 1)]
+        + [(llc_sets, llc_mask, num_levels)]
+        for c in range(ncores)
+    ]
+    # Back-invalidation chains, hoisted: per core the private levels
+    # top-down (LLC-eviction inclusion sweep), and per (core, fill level)
+    # the levels above it (private-victim sweep) — same notification
+    # order as the sequential hierarchy.
+    back_all = [
+        [(priv[lv][c], masks[lv]) for lv in range(num_levels - 2, -1, -1)]
+        for c in range(ncores)
+    ]
+    back_above = [
+        [
+            [(priv[lv2][c], masks[lv2]) for lv2 in range(lv - 1, -1, -1)]
+            for lv in range(num_levels - 1)
+        ]
+        for c in range(ncores)
+    ]
+    fill_of_core = [
+        [(priv[lv][c], masks[lv], assocs[lv], back_above[c][lv])
+         for lv in range(num_levels - 2, -1, -1)]
+        for c in range(ncores)
+    ]
+    # Fill-chain suffixes per (core, start), precomputed so the hot loop
+    # never slices (a list allocation per access otherwise).
+    fill_from = [
+        [tuple(fill_of_core[c][s:]) for s in range(num_levels)]
+        for c in range(ncores)
+    ]
+
+    # Owner bitmask per LLC-resident block: a conservative superset of
+    # the cores whose private caches may hold it.  Set on LLC fill (sole
+    # owner) and LLC hit (new sharer); L1/L2/L3 hits imply the bit is
+    # already set, and the whole entry dies with the LLC eviction —
+    # inclusion guarantees no private copy survives that.  Lets the
+    # eviction back-invalidation sweep probe only plausible cores.
+    owners: dict = {}
+    allbits = (1 << ncores) - 1
+
+    # Cross-chunk carry per (partition, core): block of the pair's last
+    # access, provided no LLC eviction has killed its L1 copy since.
+    carry_block = np.zeros(ngroups, dtype=np.uint64)
+    carry_valid = np.zeros(ngroups, dtype=bool)
+    # Hot block per pair, maintained by the residual replay (candidates
+    # by construction never change it).  -1 = no access yet.
+    hot: list[int] = [-1] * ngroups
+
+    # LLC event accumulators (when = global index of the causing access).
+    ev_when: list[int] = []
+    ev_op: list[int] = []
+    ev_block: list[int] = []
+    ew_app, eo_app, eb_app = ev_when.append, ev_op.append, ev_block.append
+
+    chunks = 0
+    skipped = 0
+    demoted_total = 0
+    core_parts: list[np.ndarray] = []
+    block_parts: list[np.ndarray] = []
+    write_parts: list[np.ndarray] = []
+    gap_parts: list[np.ndarray] = []
+
+    np_pmask = np.uint64(pmask)
+    for chunk in stream_it:
+        chunks += 1
+        core_parts.append(chunk.core)
+        block_parts.append(chunk.block)
+        write_parts.append(chunk.write)
+        gap_parts.append(chunk.gap)
+        m = chunk.num_refs
+
+        # ---- sort by partition (replay order: per-partition chronology)
+        part = (chunk.block & np_pmask).astype(np.int64)
+        order = np.argsort(part, kind="stable")
+        sp = part[order]
+        sc = chunk.core[order]
+        sb = chunk.block[order]
+        sidx = order + chunk.start     # global access index per position
+
+        # ---- candidate detection in (partition, core) grouping
+        key_s = sp * ncores + sc
+        order2 = np.argsort(key_s, kind="stable")
+        k2 = key_s[order2]
+        b2 = sb[order2]
+        same_group = np.empty(m, dtype=bool)
+        same_group[0] = False
+        np.equal(k2[1:], k2[:-1], out=same_group[1:])
+        cand2 = np.zeros(m, dtype=bool)
+        cand2[1:] = same_group[1:] & (b2[1:] == b2[:-1])
+        # Position (partition order) of each element's predecessor within
+        # its group; -1 when the predecessor lies in an earlier chunk.
+        pred2 = np.full(m, -1, dtype=np.int64)
+        if m > 1:
+            pred2[1:] = np.where(same_group[1:], order2[:-1], -1)
+        first2 = ~same_group
+        fk = k2[first2]
+        cand2[first2] = carry_valid[fk] & (carry_block[fk] == b2[first2])
+
+        # ---- advance cross-chunk carry to this chunk's group tails
+        last2 = np.empty(m, dtype=bool)
+        last2[-1] = True
+        np.not_equal(k2[1:], k2[:-1], out=last2[:-1])
+        lk = k2[last2]
+        carry_block[lk] = b2[last2]
+        carry_valid[lk] = True
+        last_pos = np.full(ngroups, -1, dtype=np.int64)
+        last_pos[lk] = order2[last2]
+
+        # ---- pre-write candidate outcomes (L1 MRU hits), vectorized
+        cand = np.zeros(m, dtype=bool)
+        cand[order2] = cand2
+        sk = sidx[cand]
+        hit_level[sk] = 1
+        hit_rank[sk] = 0
+        skipped += len(sk)
+
+        # ---- per-group candidate tables for eviction-hazard demotion
+        ci2 = np.nonzero(cand2)[0]
+        cand_groups: dict = {}
+        if len(ci2):
+            ck = k2[ci2]
+            cpos = order2[ci2].tolist()
+            cblk = b2[ci2].tolist()
+            cprd = pred2[ci2].tolist()
+            uk, starts = np.unique(ck, return_index=True)
+            bounds = np.append(starts, len(ck)).tolist()
+            uk = uk.tolist()
+            for gi, g in enumerate(uk):
+                s0, s1 = bounds[gi], bounds[gi + 1]
+                cand_groups[g] = [cpos[s0:s1], cblk[s0:s1], cprd[s0:s1], 0]
+
+        # ---- residual replay, merged in order with demoted candidates
+        res = np.nonzero(~cand)[0]
+        r_pos = res.tolist()
+        r_core = sc[res].tolist()
+        r_block = sb[res].tolist()
+        r_idx = sidx[res].tolist()
+        # key_s IS the flat (partition, core) index — reuse it as the hot
+        # slot; precompute the L1 set key and owner bit while vectorized.
+        r_hot = key_s[res].tolist()
+        r_l1k = (sb[res] & np.uint64(l1_mask)).tolist()
+        r_gidx = res.__len__() and sidx[res]
+        hl: list[int] = []
+        hr: list[int] = []
+        hl_app, hr_app = hl.append, hr.append
+        pending: list[int] = []        # heap of demoted positions
+        num_res = len(r_pos)
+        i = 0
+
+        while i < num_res or pending:
+            if pending and (i >= num_res or pending[0] < r_pos[i]):
+                q = heappop(pending)
+                c = int(sc[q])
+                b = int(sb[q])
+                i0 = int(sidx[q])
+                hot[int(key_s[q])] = b
+                l1key = b & l1_mask
+                demote_slot = q
+            else:
+                q = r_pos[i]
+                c = r_core[i]
+                b = r_block[i]
+                i0 = r_idx[i]
+                hot[r_hot[i]] = b
+                l1key = r_l1k[i]
+                i += 1
+                demote_slot = -1
+
+            lst = l1_of_core[c].get(l1key)
+            hitlev = -1
+            if lst and b in lst:
+                hitlev = 1
+                if lst[0] == b:
+                    rank = 0
+                else:
+                    rank = lst.index(b)
+                    del lst[rank]
+                    lst.insert(0, b)
+            if hitlev < 0:
+                hitlev = 0
+                rank = -1
+                for sets, mask, lvl in deeper[c]:
+                    lst2 = sets.get(b & mask)
+                    if lst2 and b in lst2:
+                        hitlev = lvl
+                        if lst2[0] == b:
+                            rank = 0
+                        else:
+                            rank = lst2.index(b)
+                            del lst2[rank]
+                            lst2.insert(0, b)
+                        break
+                if hitlev == 0:
+                    # Memory miss: LLC fill first, evicting (and back-
+                    # invalidating) a victim when the set overflows —
+                    # same notification order as CacheHierarchy._fill_llc.
+                    key = b & llc_mask
+                    lst2 = llc_sets.get(key)
+                    if lst2 is None:
+                        lst2 = llc_sets[key] = []
+                    lst2.insert(0, b)
+                    owners[b] = 1 << c   # fresh fill: sole plausible owner
+                    ew_app(i0)
+                    eo_app(EVENT_FILL)
+                    eb_app(b)
+                    if len(lst2) > llc_assoc:
+                        vb = lst2.pop()
+                        ew_app(i0)
+                        eo_app(EVENT_EVICT)
+                        eb_app(vb)
+                        om = owners.pop(vb, allbits)
+                        while om:
+                            low = om & -om
+                            om -= low
+                            for l3, mask in back_all[low.bit_length() - 1]:
+                                l4 = l3.get(vb & mask)
+                                if l4 and vb in l4:
+                                    l4.remove(vb)
+                                else:
+                                    # Private levels are strictly
+                                    # inclusive per core (fills always
+                                    # reach down to the hit level, upper
+                                    # victims are swept): absent from
+                                    # this level => absent above it.
+                                    break
+                        # Eviction hazard: any pair whose hot block just
+                        # lost its L1 copy must not skip its next access
+                        # to it — demote that candidate (or kill the
+                        # cross-chunk carry if the pair is done here).
+                        base = (vb & pmask) * ncores
+                        for c2 in range(ncores):
+                            fl = base + c2
+                            if hot[fl] != vb:
+                                continue
+                            g = cand_groups.get(fl)
+                            did_demote = False
+                            if g is not None:
+                                gpos, gblk, gprd, ptr = g
+                                glen = len(gpos)
+                                while ptr < glen and gpos[ptr] <= q:
+                                    ptr += 1
+                                if (ptr < glen and gblk[ptr] == vb
+                                        and gprd[ptr] < q):
+                                    heappush(pending, gpos[ptr])
+                                    demoted_total += 1
+                                    ptr += 1
+                                    did_demote = True
+                                g[3] = ptr
+                            if not did_demote and last_pos[fl] < q:
+                                carry_valid[fl] = False
+                    start = 0
+                else:
+                    if hitlev == num_levels:
+                        # LLC hit: this core becomes a plausible owner
+                        # (it is about to fill its private levels).
+                        owners[b] = owners.get(b, 0) | (1 << c)
+                    start = num_levels - hitlev
+                # Fill private levels top..1, back-invalidating each
+                # level's victim from the levels above it (this core).
+                for dd, mask, assoc, above in fill_from[c][start]:
+                    key = b & mask
+                    lst2 = dd.get(key)
+                    if lst2 is None:
+                        lst2 = dd[key] = []
+                    lst2.insert(0, b)
+                    if len(lst2) > assoc:
+                        vb = lst2.pop()
+                        for l3, mask2 in above:
+                            l4 = l3.get(vb & mask2)
+                            if l4 and vb in l4:
+                                l4.remove(vb)
+                            else:
+                                break  # inclusive: absent => absent above
+            if demote_slot < 0:
+                hl_app(hitlev)
+                hr_app(rank)
+            else:
+                gi0 = sidx[demote_slot]
+                hit_level[gi0] = hitlev
+                hit_rank[gi0] = rank
+                skipped -= 1
+
+        if num_res:
+            hit_level[r_gidx] = np.asarray(hl, dtype=np.int8)
+            hit_rank[r_gidx] = np.asarray(hr, dtype=np.int8)
+
+    # Merge per-partition LLC events back into chronological order.  The
+    # `when` keys are global access indices; one access emits at most one
+    # fill+evict pair, appended adjacently, so a stable sort restores
+    # exactly the sequential recorder's order.
+    when_arr = np.asarray(ev_when, dtype=np.int64)
+    ev_order = np.argsort(when_arr, kind="stable")
+    final_llc: list[int] = []
+    for lst in llc_sets.values():
+        final_llc.extend(lst)
+
+    if core_parts:
+        core_all = np.concatenate(core_parts)
+        block_all = np.concatenate(block_parts)
+        write_all = np.concatenate(write_parts)
+        gap_all = np.concatenate(gap_parts)
+    else:
+        core_all = np.empty(0, dtype=np.int64)
+        block_all = np.empty(0, dtype=np.uint64)
+        write_all = np.empty(0, dtype=bool)
+        gap_all = np.empty(0, dtype=np.uint32)
+
+    stream = OutcomeStream(
+        core=core_all.astype(np.uint16),
+        block=block_all,
+        write=write_all,
+        gap=gap_all.astype(np.uint32),
+        hit_level=hit_level,
+        hit_rank=hit_rank,
+        llc_when=when_arr[ev_order],
+        llc_op=np.asarray(ev_op, dtype=np.int8)[ev_order],
+        llc_block=np.asarray(ev_block, dtype=np.uint64)[ev_order],
+        num_levels=num_levels,
+        final_llc_blocks=np.asarray(sorted(final_llc), dtype=np.uint64),
+    )
+    stats = {
+        "chunks": chunks,
+        "skipped": skipped,
+        "residual": n - skipped,
+        "demoted": demoted_total,
+        "partitions": nparts,
+    }
+    return stream, stats
+
+
+def _first_divergence(a: np.ndarray, b: np.ndarray) -> int:
+    """Index of the first differing element (arrays of equal length)."""
+    diff = np.nonzero(a != b)[0]
+    return int(diff[0]) if len(diff) else -1
+
+
+def assert_streams_equal(
+    vector: OutcomeStream,
+    sequential: OutcomeStream,
+    config: SimConfig,
+    workload_name: str,
+) -> None:
+    """Checked-mode oracle: the two walks must agree byte for byte.
+
+    On divergence, writes a replay bundle (like every other invariant in
+    :mod:`repro.checking`) and raises :class:`InvariantViolation
+    <repro.checking.InvariantViolation>` pointing at the first divergent
+    access, so ``repro replay`` can re-run exactly the offending window.
+    """
+    problems: list[str] = []
+    ref_index: "int | None" = None
+    if vector.num_levels != sequential.num_levels:
+        problems.append(
+            f"num_levels {vector.num_levels} != {sequential.num_levels}"
+        )
+    for name in _STREAM_FIELDS:
+        va = getattr(vector, name)
+        sa = getattr(sequential, name)
+        if len(va) != len(sa):
+            problems.append(f"{name}: length {len(va)} != {len(sa)}")
+            continue
+        if not np.array_equal(va, sa):
+            at = _first_divergence(va, sa)
+            problems.append(
+                f"{name}[{at}]: vector {va[at]!r} != sequential {sa[at]!r}"
+            )
+            if ref_index is None:
+                if name in ("llc_when", "llc_op", "llc_block"):
+                    # Point the replay at the access causing the event.
+                    ref_index = int(sequential.llc_when[at]) if at < len(
+                        sequential.llc_when) else None
+                elif name != "final_llc_blocks":
+                    ref_index = at
+    if not problems:
+        return
+    ctx = checking.CheckContext.for_run(config, workload_name, runner="content")
+    ctx.fail(
+        "vector-walk-equivalence",
+        "vectorized content walk diverged from sequential walk: "
+        + "; ".join(problems),
+        ref_index=ref_index if ref_index is not None else max(
+            vector.num_accesses, sequential.num_accesses, 1) - 1,
+    )

@@ -144,6 +144,11 @@ def _summarize(counters: dict) -> dict:
         "content": {
             "walks": total("content.walks"),
             "accesses": total("content.accesses"),
+            "vector": total("content.vector_walks"),
+            "sequential": total("content.sequential_walks"),
+            "dual": total("content.dual_walks"),
+            "chunks": total("content.vector_chunks"),
+            "skipped": total("content.vector_skipped"),
         },
         "invariants": {
             "inclusion_sweeps": total("invariants.inclusion_sweeps"),

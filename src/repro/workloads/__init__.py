@@ -12,7 +12,16 @@ from repro.util.validation import ConfigError
 from repro.workloads.graph500 import build_graph500_trace
 from repro.workloads.mix import build_mix_workload
 from repro.workloads.pmf import build_pmf_trace
-from repro.workloads.shared import build_shared_workload
+from repro.workloads.shared import (
+    BlockChunk,
+    BlockRef,
+    BlockStreamIterator,
+    build_shared_workload,
+    iter_refs,
+    merge_order,
+    trace_block_stream,
+    workload_block_stream,
+)
 from repro.workloads.spec import (
     EXTENDED_MODELS,
     EXTENDED_NAMES,
@@ -35,6 +44,9 @@ from repro.workloads.tracefile import load_workload, save_workload
 __all__ = [
     "ASID_STRIDE",
     "BenchmarkModel",
+    "BlockChunk",
+    "BlockRef",
+    "BlockStreamIterator",
     "EXTENDED_MODELS",
     "EXTENDED_NAMES",
     "Component",
@@ -53,9 +65,14 @@ __all__ = [
     "build_spec_trace",
     "duplicate_for_cores",
     "get_workload",
+    "get_workload_stream",
+    "iter_refs",
+    "merge_order",
     "per_core_address_space",
     "load_workload",
     "save_workload",
+    "trace_block_stream",
+    "workload_block_stream",
 ]
 
 #: The eleven workloads of §V's figures, in the paper's bar order
@@ -114,3 +131,19 @@ def get_workload(
         f"unknown workload {name!r}; available: "
         f"{sorted((*SPEC_MODELS, *EXTENDED_MODELS, 'mix', 'blas', 'pmf'))}"
     )
+
+
+def get_workload_stream(
+    name: str,
+    machine: MachineConfig,
+    refs_per_core: int,
+    seed: int = 1,
+    chunk_refs: "int | None" = None,
+) -> BlockStreamIterator:
+    """Build a named workload and hand back its merged block stream.
+
+    The chunked NumPy view of :func:`get_workload` — same recipe, same
+    interleaving; see :mod:`repro.workloads.shared` for the protocol.
+    """
+    workload = get_workload(name, machine, refs_per_core, seed)
+    return workload.block_stream(chunk_refs=chunk_refs)

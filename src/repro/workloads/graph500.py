@@ -31,7 +31,7 @@ from repro.util.rng import make_rng
 from repro.workloads.synthetic import Component, Region, assemble_mixture
 from repro.workloads.trace import Trace
 
-__all__ = ["bfs_reference_stream", "build_graph500_trace", "GRAPH500_CPI"]
+__all__ = ["bfs_reference_stream", "build_graph500_trace", "GRAPH500_CPI", "graph500_block_stream"]
 
 GRAPH500_CPI = 3.0
 
@@ -145,3 +145,12 @@ def build_graph500_trace(
         cpi=GRAPH500_CPI,
         extra_streams=((addr, write, bfs_weight),),
     )
+
+
+def graph500_block_stream(
+    machine: MachineConfig, refs: int, seed: int, process_id: int,
+    chunk_refs: "int | None" = None,
+):
+    """Native chunked emitter: one BFS process as a NumPy block stream."""
+    trace = build_graph500_trace(machine, refs, seed, process_id)
+    return trace.block_stream(chunk_refs=chunk_refs)

@@ -13,7 +13,7 @@ from repro.energy.params import MachineConfig
 from repro.workloads.spec import SPEC_NAMES, build_spec_trace
 from repro.workloads.trace import Workload, per_core_address_space
 
-__all__ = ["build_mix_workload"]
+__all__ = ["build_mix_workload", "mix_block_stream"]
 
 
 def build_mix_workload(machine: MachineConfig, refs_per_core: int, seed: int) -> Workload:
@@ -24,3 +24,12 @@ def build_mix_workload(machine: MachineConfig, refs_per_core: int, seed: int) ->
         trace = build_spec_trace(name, machine, refs_per_core, seed + core)
         traces.append(per_core_address_space(trace, core, seed))
     return Workload(name="mix", traces=tuple(traces), meta={"apps": SPEC_NAMES})
+
+
+def mix_block_stream(
+    machine: MachineConfig, refs_per_core: int, seed: int,
+    chunk_refs: "int | None" = None,
+):
+    """Native chunked emitter: the merged multi-core ``mix`` stream."""
+    workload = build_mix_workload(machine, refs_per_core, seed)
+    return workload.block_stream(chunk_refs=chunk_refs)

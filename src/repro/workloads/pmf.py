@@ -29,7 +29,7 @@ from repro.util.rng import make_rng
 from repro.workloads.synthetic import Component, Region, assemble_mixture
 from repro.workloads.trace import Trace
 
-__all__ = ["sgd_reference_stream", "build_pmf_trace", "PMF_CPI", "RANK"]
+__all__ = ["sgd_reference_stream", "build_pmf_trace", "PMF_CPI", "RANK", "pmf_block_stream"]
 
 PMF_CPI = 2.6
 
@@ -97,3 +97,12 @@ def build_pmf_trace(
         cpi=PMF_CPI,
         extra_streams=((addr, write, sgd_weight),),
     )
+
+
+def pmf_block_stream(
+    machine: MachineConfig, refs: int, seed: int, process_id: int,
+    chunk_refs: "int | None" = None,
+):
+    """Native chunked emitter: one SGD worker as a NumPy block stream."""
+    trace = build_pmf_trace(machine, refs, seed, process_id)
+    return trace.block_stream(chunk_refs=chunk_refs)

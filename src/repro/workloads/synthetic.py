@@ -37,7 +37,8 @@ from repro.util.rng import make_rng
 from repro.util.validation import ConfigError, check_positive, check_range
 from repro.workloads.trace import Trace
 
-__all__ = ["Region", "Component", "assemble_mixture", "component_addresses"]
+__all__ = ["Region", "Component", "assemble_mixture", "component_addresses",
+           "mixture_block_stream"]
 
 #: Spacing between component address spaces inside one trace.
 COMPONENT_STRIDE = 1 << 32
@@ -208,3 +209,26 @@ def assemble_mixture(
 
     gap = rng.integers(0, GAP_MAX, size=refs, dtype=np.uint32)
     return Trace(name=name, pc=pc, addr=addr, write=write, gap=gap, cpi=cpi)
+
+
+def mixture_block_stream(
+    name: str,
+    components: tuple[Component, ...],
+    refs: int,
+    machine: MachineConfig,
+    seed: int,
+    cpi: float = 1.0,
+    extra_streams: tuple[tuple[np.ndarray, np.ndarray, float], ...] = (),
+    chunk_refs: "int | None" = None,
+):
+    """Native chunked emitter: the mixture as a NumPy block stream.
+
+    Same recipe, same arrays as :func:`assemble_mixture` — the stream is
+    chunked views over the vectorized trace, never per-reference Python
+    objects (see :mod:`repro.workloads.shared`).
+    """
+    trace = assemble_mixture(
+        name, components, refs, machine, seed, cpi=cpi,
+        extra_streams=extra_streams,
+    )
+    return trace.block_stream(chunk_refs=chunk_refs)

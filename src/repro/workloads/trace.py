@@ -104,6 +104,17 @@ class Trace:
             raise ConfigError("page xor constant must fit in 28 bits")
         return replace(self, addr=self.addr ^ np.uint64(xor_pages << PAGE_BITS))
 
+    def block_stream(self, core: int = 0, chunk_refs: "int | None" = None):
+        """This trace as a chunked NumPy block stream (program order).
+
+        See :mod:`repro.workloads.shared` for the stream protocol; the
+        per-reference view is ``shared.iter_refs(trace.block_stream())``.
+        """
+        from repro.workloads import shared  # circular at module load
+
+        kwargs = {} if chunk_refs is None else {"chunk_refs": chunk_refs}
+        return shared.trace_block_stream(self, core=core, **kwargs)
+
     def validate(self) -> None:
         """Sanity checks used by tests and the trace-file loader."""
         if self.num_refs == 0:
@@ -144,6 +155,19 @@ class Workload:
             traces=tuple(t.head(refs_per_core) for t in self.traces),
             meta=dict(self.meta),
         )
+
+    def block_stream(self, chunk_refs: "int | None" = None,
+                     max_refs: "int | None" = None):
+        """The merged multi-core access stream, chunked (§IV interleaving).
+
+        Both content-walk paths consume this: the vectorized walk takes
+        the chunks as arrays, the sequential walk wraps them with the
+        per-reference adapter (:func:`repro.workloads.shared.iter_refs`).
+        """
+        from repro.workloads import shared  # circular at module load
+
+        kwargs = {} if chunk_refs is None else {"chunk_refs": chunk_refs}
+        return shared.workload_block_stream(self, max_refs=max_refs, **kwargs)
 
 
 def per_core_address_space(trace: Trace, core: int, seed: int) -> Trace:

@@ -22,6 +22,10 @@ MACHINE = "tiny"
 REFS_PER_CORE = 2000
 SEEDS = (1, 2, 3)
 WORKLOADS = ("mcf", "lbm")
+#: Every paper family gets its fingerprint pinned at one seed, so a
+#: generator change in any recipe — not just the two walk-golden ones —
+#: is caught by the golden suite.
+FAMILY_SEED = 1
 
 
 def compute_golden() -> dict:
@@ -30,7 +34,7 @@ def compute_golden() -> dict:
     from repro.experiments.registry import run_experiment
     from repro.sim.config import SimConfig
     from repro.sim.content import ContentSimulator
-    from repro.workloads import get_workload
+    from repro.workloads import PAPER_WORKLOADS, get_workload
 
     machine = get_machine(MACHINE)
     data: dict = {
@@ -38,10 +42,19 @@ def compute_golden() -> dict:
             "machine": MACHINE,
             "refs_per_core": REFS_PER_CORE,
             "workloads": list(WORKLOADS),
+            "family_seed": FAMILY_SEED,
             "regen": "PYTHONPATH=src python tests/golden/regen.py",
         },
         "seeds": {},
+        "families": {},
     }
+    family_cfg = SimConfig(machine=machine, refs_per_core=REFS_PER_CORE,
+                           seed=FAMILY_SEED)
+    for name in PAPER_WORKLOADS:
+        workload = get_workload(name, machine, REFS_PER_CORE, FAMILY_SEED)
+        data["families"][name] = (
+            ContentSimulator(family_cfg).run(workload).fingerprint()
+        )
     for seed in SEEDS:
         cfg = SimConfig(machine=machine, refs_per_core=REFS_PER_CORE, seed=seed)
         fingerprints = {}

@@ -1,0 +1,215 @@
+"""Block-stream generators: chunking, adapter and memoization contracts.
+
+The :class:`BlockStreamIterator` protocol (``repro.workloads.shared``)
+promises that a stream's content is independent of how it is chunked,
+that the per-reference adapter (:func:`iter_refs`) yields exactly the
+chunk arrays as scalars, and that rebuilding the same recipe with the
+same seed reproduces the stream bit for bit.  These are the properties
+the vectorized content walk's bit-identity proof stands on, so they get
+their own regression net here.
+
+``merge_order``/``_merged_refs`` memoization (per Workload object,
+id-keyed, weakref-evicted) is pinned too: the interleaving sort must run
+once per workload, not once per walk.
+"""
+
+from __future__ import annotations
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.energy.params import get_machine
+from repro.workloads import PAPER_WORKLOADS, get_workload, get_workload_stream
+from repro.workloads.shared import (
+    DEFAULT_CHUNK_REFS,
+    ArrayBlockStream,
+    BlockRef,
+    BlockStreamIterator,
+    _MERGE_CACHE,
+    _MERGED_REFS_CACHE,
+    build_shared_workload,
+    iter_refs,
+    merge_order,
+    trace_block_stream,
+    workload_block_stream,
+)
+
+FIELDS = ("core", "block", "write", "gap")
+
+
+def concat_chunks(stream) -> dict:
+    """Materialize a stream's chunks; checks chunk bookkeeping en route."""
+    parts = {f: [] for f in FIELDS}
+    expect_start = 0
+    for chunk in stream:
+        assert chunk.start == expect_start, "chunks must be contiguous"
+        assert chunk.num_refs <= stream.chunk_refs
+        expect_start += chunk.num_refs
+        for f in FIELDS:
+            parts[f].append(getattr(chunk, f))
+    assert expect_start == stream.num_refs, "chunks must cover the stream"
+    return {f: np.concatenate(parts[f]) if parts[f] else np.empty(0)
+            for f in FIELDS}
+
+
+def assert_same_stream(a: dict, b: dict, label: str) -> None:
+    for f in FIELDS:
+        assert np.array_equal(a[f], b[f]), f"{label}: field {f!r} differs"
+        assert a[f].dtype == b[f].dtype, f"{label}: dtype of {f!r} differs"
+
+
+# ----------------------------------------------------- chunk invariance
+@pytest.mark.parametrize("family", PAPER_WORKLOADS)
+def test_stream_identical_across_chunk_sizes(family):
+    """Every family: chunking at 1, 7, N-1, N, N+1 and the default
+    yields byte-identical concatenated arrays."""
+    machine = get_machine("tiny")
+    workload = get_workload(family, machine, 300, seed=2)
+    total = workload.total_refs
+    base = concat_chunks(workload.block_stream())
+    for chunk in (1, 7, total - 1, total, total + 1, DEFAULT_CHUNK_REFS):
+        got = concat_chunks(workload.block_stream(chunk_refs=chunk))
+        assert_same_stream(base, got, f"{family} chunk={chunk}")
+
+
+def test_shared_workload_stream_chunk_invariance():
+    machine = get_machine("tiny")
+    workload = build_shared_workload(machine, 250, seed=4,
+                                     shared_fraction=0.6)
+    base = concat_chunks(workload.block_stream())
+    for chunk in (1, 3, 499, 500, 501):
+        got = concat_chunks(workload.block_stream(chunk_refs=chunk))
+        assert_same_stream(base, got, f"shared chunk={chunk}")
+
+
+def test_max_refs_is_a_prefix():
+    machine = get_machine("tiny")
+    workload = get_workload("mcf", machine, 300, seed=1)
+    full = concat_chunks(workload.block_stream())
+    for cut in (1, 77, 600):
+        head = concat_chunks(workload.block_stream(max_refs=cut))
+        for f in FIELDS:
+            assert np.array_equal(head[f], full[f][:cut]), (f, cut)
+
+
+# ---------------------------------------------------- per-ref adapter
+@pytest.mark.parametrize("family", ("mcf", "mix", "pmf", "blas"))
+def test_iter_refs_matches_native_chunks(family):
+    """The per-reference adapter yields exactly the chunk arrays, as
+    scalars, with a correct running global index — at any chunking."""
+    machine = get_machine("tiny")
+    workload = get_workload(family, machine, 200, seed=3)
+    native = concat_chunks(workload.block_stream())
+    for chunk in (1, 13, None):
+        kwargs = {} if chunk is None else {"chunk_refs": chunk}
+        refs = list(iter_refs(workload.block_stream(**kwargs)))
+        assert len(refs) == workload.total_refs
+        assert all(isinstance(r, BlockRef) for r in refs[:3])
+        assert [r.index for r in refs] == list(range(len(refs)))
+        assert np.array_equal([r.core for r in refs], native["core"])
+        assert np.array_equal(
+            np.array([r.block for r in refs], dtype=np.uint64),
+            native["block"])
+        assert np.array_equal([r.write for r in refs], native["write"])
+        assert np.array_equal([r.gap for r in refs], native["gap"])
+
+
+def test_adapter_matches_merge_order_gather():
+    """iter_refs against the raw merge: same cores, same per-core trace
+    values — the adapter is a view of the §IV interleaving, not a second
+    implementation of it."""
+    machine = get_machine("tiny")
+    workload = get_workload("lbm", machine, 150, seed=5)
+    merged_core, merged_idx = merge_order(workload)
+    refs = list(iter_refs(workload.block_stream()))
+    assert np.array_equal([r.core for r in refs], merged_core)
+    for r, core, idx in zip(refs, merged_core.tolist(), merged_idx.tolist()):
+        trace = workload.traces[core]
+        assert r.block == int(trace.blocks[idx])
+        assert r.write == bool(trace.write[idx])
+        assert r.gap == int(trace.gap[idx])
+
+
+# -------------------------------------------------------- determinism
+@pytest.mark.parametrize("family", PAPER_WORKLOADS)
+def test_rebuild_same_seed_is_bit_identical(family):
+    machine = get_machine("tiny")
+    a = concat_chunks(get_workload_stream(family, machine, 200, seed=7))
+    b = concat_chunks(get_workload_stream(family, machine, 200, seed=7))
+    assert_same_stream(a, b, family)
+
+
+def test_different_seed_differs():
+    machine = get_machine("tiny")
+    a = concat_chunks(get_workload_stream("mcf", machine, 300, seed=1))
+    b = concat_chunks(get_workload_stream("mcf", machine, 300, seed=2))
+    assert not np.array_equal(a["block"], b["block"])
+
+
+def test_streams_satisfy_protocol():
+    machine = get_machine("tiny")
+    stream = get_workload_stream("mcf", machine, 50)
+    assert isinstance(stream, BlockStreamIterator)
+    assert isinstance(stream, ArrayBlockStream)
+    trace = get_workload("mcf", machine, 50).traces[0]
+    single = trace_block_stream(trace, core=1, chunk_refs=16)
+    assert isinstance(single, BlockStreamIterator)
+    got = concat_chunks(single)
+    assert np.array_equal(got["block"], trace.blocks)
+    assert (got["core"] == 1).all()
+
+
+def test_bad_chunk_refs_rejected():
+    from repro.util.validation import ConfigError
+
+    machine = get_machine("tiny")
+    workload = get_workload("mcf", machine, 50)
+    with pytest.raises(ConfigError, match="chunk_refs"):
+        workload.block_stream(chunk_refs=0)
+
+
+# ------------------------------------------------- merge memoization
+class TestMergeMemoization:
+    def test_merge_order_cached_per_object(self):
+        """Regression: the interleaving sort runs once per Workload
+        object — repeated calls return the very same arrays."""
+        machine = get_machine("tiny")
+        workload = get_workload("mcf", machine, 200, seed=1)
+        first = merge_order(workload)
+        second = merge_order(workload)
+        assert first[0] is second[0] and first[1] is second[1]
+        assert id(workload) in _MERGE_CACHE
+
+    def test_merged_refs_cached_and_shared_by_streams(self):
+        machine = get_machine("tiny")
+        workload = get_workload("lbm", machine, 200, seed=1)
+        s1 = workload_block_stream(workload)
+        s2 = workload_block_stream(workload, chunk_refs=7)
+        # Same underlying merged arrays: the gather ran once.
+        assert s1._block is s2._block
+        assert id(workload) in _MERGED_REFS_CACHE
+
+    def test_cache_keyed_by_identity_not_equality(self):
+        machine = get_machine("tiny")
+        w1 = get_workload("mcf", machine, 100, seed=1)
+        w2 = get_workload("mcf", machine, 100, seed=1)
+        merge_order(w1)
+        merge_order(w2)
+        a = merge_order(w1)
+        b = merge_order(w2)
+        assert a[0] is not b[0]          # distinct objects, distinct entries
+        assert np.array_equal(a[0], b[0])  # ...but identical content
+
+    def test_cache_evicted_when_workload_collected(self):
+        machine = get_machine("tiny")
+        workload = get_workload("mcf", machine, 100, seed=1)
+        merge_order(workload)
+        workload_block_stream(workload)
+        key = id(workload)
+        assert key in _MERGE_CACHE and key in _MERGED_REFS_CACHE
+        del workload
+        gc.collect()
+        assert key not in _MERGE_CACHE
+        assert key not in _MERGED_REFS_CACHE

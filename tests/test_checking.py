@@ -264,7 +264,9 @@ def test_per_block_inclusion_check_matches_full_check():
     """check_block_inclusion is the local fast path of check_inclusion:
     on a healthy hierarchy both report nothing, for every resident."""
     cfg = SimConfig(machine=get_machine("tiny"), refs_per_core=1500, seed=5)
-    sim = ContentSimulator(cfg)
+    # The sequential walk is forced: only it builds the real
+    # CacheHierarchy object this test inspects.
+    sim = ContentSimulator(cfg, vectorized=False)
     sim.run(workload_for(cfg))
     hier = sim._last_hierarchy
     assert hier.check_inclusion() == []

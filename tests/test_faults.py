@@ -538,3 +538,37 @@ class TestChaosHarness:
                 for e in report.injected
             ])
         assert logs[0] == logs[1]
+
+    def test_vecwalk_plan_fallback_is_bit_identical(self, tmp_path):
+        """The vectorized-walk chaos plan: killing the vector path
+        mid-experiment (plus a cache-save failure) must leave the
+        artifact byte-identical — the sequential fallback IS the same
+        trajectory, just slower."""
+        from repro.energy.params import get_machine
+        from repro.faults.chaos import run_chaos
+
+        cfg = SimConfig(machine=get_machine("tiny"), refs_per_core=1200,
+                        seed=1)
+        plan = faults.load_plan(GOLDEN_DIR / "chaos_plan_vecwalk.json")
+        report = run_chaos("fig6", cfg, plan, tmp_path / "chaos",
+                           workloads=("mcf", "lbm"), workers=2)
+        assert report.problems == []
+        assert report.identical
+        assert "content.vector_walk" in report.handled_sites
+        manifest = json.loads(
+            (tmp_path / "chaos" / "faulted" / "run_manifest.json").read_text()
+        )
+        # The faulted run demonstrably took the fallback path...
+        handled = [e for e in manifest["events"]
+                   if e.get("name") == "faults.handled"
+                   and e.get("site") == "content.vector_walk"]
+        assert handled and all(
+            e.get("action") == "sequential_fallback" for e in handled
+        )
+        assert manifest["summary"]["content"]["sequential"] >= 2
+        # ...while the clean run stayed vectorized.
+        clean = json.loads(
+            (tmp_path / "chaos" / "baseline" / "run_manifest.json").read_text()
+        )
+        assert clean["summary"]["content"]["sequential"] == 0
+        assert clean["summary"]["content"]["vector"] >= 2

@@ -40,7 +40,28 @@ def test_golden_meta_matches_recipe(golden):
     assert golden["meta"]["machine"] == golden_regen.MACHINE
     assert golden["meta"]["refs_per_core"] == golden_regen.REFS_PER_CORE
     assert golden["meta"]["workloads"] == list(golden_regen.WORKLOADS)
+    assert golden["meta"]["family_seed"] == golden_regen.FAMILY_SEED
     assert sorted(golden["seeds"]) == sorted(str(s) for s in golden_regen.SEEDS)
+
+
+def test_every_family_is_pinned(golden):
+    from repro.workloads import PAPER_WORKLOADS
+
+    assert sorted(golden["families"]) == sorted(PAPER_WORKLOADS)
+
+
+@pytest.mark.parametrize(
+    "family",
+    sorted(json.loads(golden_regen.GOLDEN_PATH.read_text())["families"])
+    if golden_regen.GOLDEN_PATH.exists() else [],
+)
+def test_family_fingerprints_exact(golden, fresh, family):
+    """Every workload family's content fingerprint is golden-pinned, so a
+    generator change in *any* recipe fails here, not just mcf/lbm."""
+    assert fresh["families"][family] == golden["families"][family], (
+        f"{family} fingerprint drifted; if intentional, regenerate: "
+        f"{golden['meta']['regen']}"
+    )
 
 
 @pytest.mark.parametrize("seed", [str(s) for s in golden_regen.SEEDS])
