@@ -11,6 +11,8 @@ Examples::
     python -m repro check --workloads mcf,lbm --redhip
     python -m repro check --replay .repro-replay/inclusion-mcf-inclusive-s1-r123.json
     python -m repro chaos --plan tests/golden/chaos_plan.json
+    python -m repro sweep tests/golden/sweep_smoke.json --store results.sqlite
+    python -m repro query results.sqlite --where scheme=redhip --csv
 
 ``run`` prints the same rows/series the paper's figure shows; ``--out``
 additionally writes a markdown file per artifact.
@@ -167,6 +169,60 @@ def build_parser() -> argparse.ArgumentParser:
     ch.add_argument("--out", type=Path, default=Path(".repro-chaos"),
                     help="directory for both runs' artifacts + manifests "
                          "(default: .repro-chaos)")
+
+    sw = sub.add_parser(
+        "sweep",
+        help="run (or resume) a declarative sweep grid; every completed "
+             "cell lands in an append-only results store keyed by its "
+             "content fingerprint, so a killed sweep restarts where it "
+             "stopped (see repro.sweep)",
+    )
+    sw.add_argument("spec", type=Path,
+                    help="sweep JSON file (see tests/golden/sweep_smoke.json)")
+    sw.add_argument("--store", type=Path, default=None,
+                    help="results store path (default: <spec>.sqlite next "
+                         "to the spec file)")
+    sw.add_argument("--workers", type=int, default=None,
+                    help="worker processes (default: cpu-derived; 1 = serial)")
+    sw.add_argument("--timeout", type=float, default=None,
+                    help="per-shard worker timeout in seconds "
+                         "(default: REPRO_WORKER_TIMEOUT or 300)")
+    sw.add_argument("--max-cells", type=int, default=None,
+                    help="stop after this many pending cells (resume "
+                         "later; used by CI to exercise the resume path)")
+    sw.add_argument("--plan", action="store_true",
+                    help="expand and print the grid without running anything")
+    sw.add_argument("--faults", type=Path, default=None,
+                    help="fault-injection plan JSON applied to the run")
+    sw.add_argument("--telemetry", "-v", action="store_true",
+                    help="collect sweep-level spans/counters and print a "
+                         "summary (REPRO_TELEMETRY=1 does the same)")
+
+    qu = sub.add_parser(
+        "query",
+        help="filter, aggregate or export the rows of a sweep results store",
+    )
+    qu.add_argument("store", type=Path, help="results store (.sqlite)")
+    qu.add_argument("--where", action="append", default=[], metavar="COL=VAL",
+                    help="exact-match filter on an identity column "
+                         "(repeatable; VAL 'none' matches NULL)")
+    qu.add_argument("--by", default=None, metavar="COLS",
+                    help="comma-separated group-by columns; switches to "
+                         "aggregation output")
+    qu.add_argument("--value", default="total_nj",
+                    help="metric to aggregate (default: total_nj)")
+    qu.add_argument("--agg", default="mean",
+                    choices=("mean", "sum", "min", "max", "count"),
+                    help="aggregation function (default: mean)")
+    qu.add_argument("--columns", default=None,
+                    help="comma-separated column subset for row/CSV output")
+    qu.add_argument("--csv", nargs="?", type=Path, const=Path("-"),
+                    default=None, metavar="FILE",
+                    help="emit CSV (to FILE, or stdout when no FILE given)")
+    qu.add_argument("--digest", action="store_true",
+                    help="print only the canonical-view digest (two stores "
+                         "filled by any mix of resumed runs of one spec "
+                         "agree here)")
 
     st = sub.add_parser(
         "stats",
@@ -426,6 +482,101 @@ def _chaos(args) -> int:
     return 1
 
 
+def _sweep(args) -> int:
+    """``repro sweep``: run/resume a grid; print what this invocation did."""
+    from repro.sweep import load_sweep, run_sweep
+    from repro.sweep.scheduler import shard_cells, sweep_stream_cache
+
+    spec = load_sweep(args.spec)
+    store_path = args.store if args.store is not None \
+        else args.spec.with_suffix(".sqlite")
+    if args.plan:
+        cells = spec.cells()
+        for cell in cells:
+            print(f"{cell.fingerprint()}  {cell.label()}")
+        cache = sweep_stream_cache(spec, store_path)
+        print(f"{len(cells)} cells in {len(shard_cells(cells))} shard(s); "
+              f"store {store_path}, stream cache "
+              f"{cache if cache else '$REPRO_STREAM_CACHE'}")
+        return 0
+    force = True if args.telemetry else None
+    with telemetry.session(force=force, label=f"sweep-{spec.name}") as sess:
+        report = run_sweep(
+            spec, store_path,
+            workers=args.workers,
+            timeout_s=args.timeout,
+            max_cells=args.max_cells,
+            faults_plan=str(args.faults) if args.faults else None,
+        )
+        if sess is not None:
+            path = telemetry.write_manifest(store_path.parent, sess)
+            print(f"wrote {path}", file=sys.stderr)
+    print(f"sweep {report.sweep}: {report.total} cells, "
+          f"{report.resumed} resumed, {report.completed} completed, "
+          f"{len(report.failed)} failed "
+          f"({report.shards} shard(s) x {report.workers} worker(s), "
+          f"{report.wall_s:.2f} s)")
+    for fingerprint, label, reason in report.failed:
+        print(f"FAILED {label}: {reason}  [{fingerprint}]")
+    print(f"store {report.store_path} ({report.resumed + report.completed}"
+          f"/{report.total} cells) digest {report.digest}")
+    if report.failed:
+        print("rerun the same sweep to retry the failed cells "
+              "(completed cells are skipped by fingerprint)")
+        return 1
+    return 0
+
+
+def _query(args) -> int:
+    """``repro query``: the shell view of one results store."""
+    from repro.results import ResultsStore
+
+    if not args.store.exists():
+        raise ReproError(f"no results store at {args.store}; "
+                         f"produce one with `repro sweep <spec>`")
+    where = {}
+    for item in args.where:
+        col, sep, value = item.partition("=")
+        if not sep:
+            raise ReproError(f"bad --where {item!r}: expected COL=VAL")
+        where[col.strip()] = value.strip()
+    columns = [c.strip() for c in args.columns.split(",")] \
+        if args.columns else None
+    with ResultsStore(args.store) as store:
+        if args.digest:
+            print(store.digest())
+            return 0
+        if args.by:
+            by = tuple(c.strip() for c in args.by.split(","))
+            groups = store.aggregate(args.value, by=by, agg=args.agg,
+                                     where=where)
+            for g in groups:
+                key = " ".join(f"{c}={g[c]}" for c in by)
+                print(f"{key}  {args.agg}({args.value})={g[args.agg]:g}  "
+                      f"n={g['n']}")
+            return 0
+        rows = store.rows(where)
+        if args.csv is not None:
+            text = store.export_csv(rows, columns)
+            if str(args.csv) == "-":
+                sys.stdout.write(text)
+            else:
+                args.csv.parent.mkdir(parents=True, exist_ok=True)
+                args.csv.write_text(text)
+                print(f"wrote {args.csv} ({len(rows)} rows)", file=sys.stderr)
+            return 0
+        for row in rows:
+            if columns:
+                print("  ".join(f"{c}={row.get(c)}" for c in columns))
+            else:
+                print(f"{row['fingerprint']}  {row['machine']}-"
+                      f"{row['workload']}-{row['scheme']}-{row['policy']}"
+                      f"-s{row['seed']}  total {row.get('total_nj', 0):.0f} nJ"
+                      f"  cycles {row.get('exec_cycles', 0):.0f}")
+        print(f"{len(rows)} row(s) in {args.store}")
+    return 0
+
+
 def _write_manifest(sess, cfg: SimConfig, experiments: list, out: Path | None) -> None:
     """Write ``run_manifest.json`` next to the run's artifacts."""
     if sess is None:
@@ -583,6 +734,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cache(args)
         elif args.command == "chaos":
             return _chaos(args)
+        elif args.command == "sweep":
+            return _sweep(args)
+        elif args.command == "query":
+            return _query(args)
         elif args.command == "stats":
             return _stats(args)
         elif args.command == "trace":

@@ -88,12 +88,27 @@ class ExperimentContext:
 def _maybe_prewarm(ctx: ExperimentContext, workloads) -> None:
     """Fan the spec's content walks over a process pool — only when the
     user opted in with ``REPRO_PARALLEL`` (the serial default stays the
-    default), and only for registry-named workloads."""
+    default), and only for registry-named workloads.
+
+    Non-string entries (explicit :class:`Workload` objects, which cannot
+    be rebuilt by name inside a worker) stay on the serial path; dropping
+    them is correct but must not be silent — a sweep that expected a
+    parallel prewarm and got none needs the event to explain why.
+    """
     if not workloads or not os.environ.get("REPRO_PARALLEL"):
         return
     from repro.sim.parallel import prewarm_streams
 
+    workloads = list(workloads)
     names = [w for w in workloads if isinstance(w, str)]
+    if len(names) < len(workloads):
+        telemetry.event(
+            "prewarm.skipped_workloads",
+            experiment=ctx.spec.experiment_id,
+            skipped=len(workloads) - len(names),
+            total=len(workloads),
+            reason="non-registry workload objects cannot prewarm by name",
+        )
     if len(names) > 1:
         prewarm_streams(ctx.runner, names)
 

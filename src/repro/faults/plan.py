@@ -52,6 +52,10 @@ SITES: dict[str, frozenset] = {
     # Vectorized content walk (repro.sim.content); recovery is the
     # sequential-walk fallback, which is bit-identical by construction.
     "content.vector_walk": frozenset({"exception"}),
+    # One sweep cell (repro.sweep.scheduler); recovery is skip-and-record:
+    # the cell is reported failed, never written to the store, and the
+    # next run of the same SweepSpec re-attempts exactly that cell.
+    "sweep.cell": frozenset({"exception"}),
 }
 
 

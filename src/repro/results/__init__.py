@@ -1,0 +1,14 @@
+"""Queryable results substrate: every sweep cell lands as one row.
+
+See :mod:`repro.results.store` for the append-only SQLite store and
+:mod:`repro.sweep` for the orchestrator that fills it.
+"""
+
+from repro.results.store import (
+    CANONICAL_COLUMNS,
+    STORE_SCHEMA,
+    CellRow,
+    ResultsStore,
+)
+
+__all__ = ["CANONICAL_COLUMNS", "STORE_SCHEMA", "CellRow", "ResultsStore"]

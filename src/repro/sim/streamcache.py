@@ -149,11 +149,13 @@ class StreamCache:
         a half entry *or* a phantom ``ls`` row) and ``os.replace`` makes
         the entry visible only once complete.  Write failures (ENOSPC, an
         injected ``streamcache.save`` fault) are retried under the bounded
-        deterministic-backoff policy; when every attempt fails the save is
+        deterministic-backoff policy — including the directory creation,
+        which can hit the same permission/ENOSPC errors as the write
+        itself; when every attempt fails, or the failure is not an I/O
+        error at all (a pickling error inside ``np.savez``), the save is
         skipped with a warning — a cache is an accelerator, never a
         correctness dependency, so the run continues uncached.
         """
-        self.directory.mkdir(parents=True, exist_ok=True)
         path = self.path_for(key)
         meta = json.dumps(
             {
@@ -186,9 +188,25 @@ class StreamCache:
                 stacklevel=2,
             )
             return None
+        except Exception as exc:
+            # Non-I/O failures (a dtype/pickling error inside np.savez, a
+            # bad array shape) are permanent — retrying cannot help — but
+            # they still must not crash the run: skip the save, same as an
+            # exhausted retry.
+            faults.handled("streamcache.save", "skipped_save",
+                           entry=path.name,
+                           error=f"{exc.__class__.__name__}: {exc}")
+            warnings.warn(
+                f"stream-cache save of {path.name} failed "
+                f"({exc.__class__.__name__}: {exc}); continuing uncached",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
 
     def _write_entry(self, path: Path, key: tuple, meta: str, arrays: dict) -> Path:
         """One atomic write attempt (the ``streamcache.save`` fault site)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
         fired = faults.check("streamcache.save", key=str(key[0]))
         try:
@@ -214,7 +232,11 @@ class StreamCache:
                     5, f"injected crash mid-write of {tmp.name}"  # errno.EIO
                 )
             os.replace(tmp, path)
-        except OSError:
+        except BaseException:
+            # Any failure — OSError, a np.savez pickling/dtype error, even
+            # KeyboardInterrupt — must not leak the temp file: a sweep of
+            # workers each leaking one tmp per attempt fills the disk the
+            # cache was supposed to save.
             try:
                 tmp.unlink()
             except OSError:
@@ -250,6 +272,12 @@ class StreamCache:
                 detail=path.name,
             )
         except faults.RetryExhausted as exc:
+            if isinstance(exc.last, FileNotFoundError):
+                # A concurrent clear()/discard deleted the entry between
+                # our existence check and the read: an ordinary miss, not
+                # a corrupt entry — nothing to discard or warn about.
+                telemetry.count("stream_cache.miss")
+                return None
             self._discard(path, f"unreadable after retries ({exc.last})")
             return None
         except Exception as exc:  # corrupt zip, bad dtype, missing field…
@@ -323,12 +351,23 @@ class StreamCache:
 
     # ---------------------------------------------------------- inventory
     def entries(self) -> list[CacheEntry]:
-        """All cache files, with metadata where readable (for ``ls``)."""
+        """All cache files, with metadata where readable (for ``ls``).
+
+        The directory is shared: a concurrent writer's ``load`` discard or
+        another process's ``clear()`` can delete a file between the glob
+        and our ``stat``/read.  A vanished entry is simply skipped — it no
+        longer exists, so it is not part of the inventory — rather than
+        aborting the listing (exactly the race two sweep workers sharing
+        one cache hit constantly).
+        """
         out = []
         if not self.directory.is_dir():
             return out
         for path in sorted(self.directory.glob("*.npz")):
-            size = path.stat().st_size
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue  # deleted between glob and stat
             try:
                 with np.load(path) as data:
                     meta = json.loads(bytes(data["meta"]).decode())
@@ -342,6 +381,8 @@ class StreamCache:
                         size_bytes=size,
                     )
                 )
+            except FileNotFoundError:
+                continue  # deleted between stat and read
             except Exception:
                 out.append(CacheEntry(path=path, key=None, fingerprint=None,
                                       num_accesses=None, size_bytes=size))
@@ -361,6 +402,8 @@ class StreamCache:
                 continue
             try:
                 stream, meta = self._read(entry.path)
+            except FileNotFoundError:
+                continue  # deleted since entries(); nothing left to audit
             except Exception:
                 bad.append(entry.path)
                 continue

@@ -1,0 +1,375 @@
+"""Resumable sharded sweep execution over worker processes.
+
+Cells that share a content trajectory — same (machine, policy, seed,
+workload) — are grouped into one *shard*: the shard's worker walks the
+trajectory once (through the shared persistent stream cache) and
+evaluates every scheme cell against it, exactly how
+:meth:`ExperimentRunner.run_matrix` amortizes walks inside one process.
+Shards fan out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+with the same misbehaviour budget as :func:`repro.sim.parallel.
+prewarm_streams`: a worker that crashes, hangs past the timeout, or
+raises loses only its own shard, which re-executes serially in the
+parent; a pool that cannot spawn at all degrades to the serial path.
+
+Results land in the append-only store *as each shard completes* (the
+parent is the only writer), so killing a sweep at any point preserves
+every finished cell; restarting the same :class:`SweepSpec` skips every
+fingerprint already recorded and the final canonical store content is
+identical to an uninterrupted run's.
+
+A failing cell (a bug, or an injected ``sweep.cell`` fault) is skipped
+and reported — never written — so the next run re-attempts exactly that
+cell.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from types import SimpleNamespace
+
+from repro import faults, telemetry
+from repro.results.store import CellRow, ResultsStore
+from repro.sim.charging import ENERGY_CATEGORIES
+from repro.sim.parallel import (
+    _worker_faults,
+    default_worker_timeout,
+    default_workers,
+)
+from repro.sim.runner import ExperimentRunner
+from repro.sim.streamcache import CACHE_ENV
+from repro.sweep.spec import CellSpec, SweepSpec, build_scheme
+
+__all__ = ["SweepReport", "run_sweep", "shard_cells", "sweep_stream_cache"]
+
+
+@dataclass
+class SweepReport:
+    """What one ``run_sweep`` invocation did (printed by ``repro sweep``)."""
+
+    sweep: str
+    store_path: Path
+    total: int                 # cells in the expanded grid
+    resumed: int               # already in the store, skipped by fingerprint
+    completed: int             # rows appended by this run
+    failed: list = field(default_factory=list)   # (fingerprint, label, reason)
+    shards: int = 0
+    workers: int = 1
+    wall_s: float = 0.0
+    digest: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed and self.resumed + self.completed == self.total
+
+
+def sweep_stream_cache(spec: SweepSpec, store_path: Path) -> "str | None":
+    """The shared stream-cache directory for a sweep's workers.
+
+    Spec wins, then an explicit ``REPRO_STREAM_CACHE`` environment
+    (returned as ``None`` so :func:`resolve_cache` keeps honouring it),
+    else a directory next to the store — a sweep always runs with the
+    cache as shared backend, because resumes and scheme-axis grids revisit
+    the same trajectories constantly.
+    """
+    if spec.stream_cache:
+        return spec.stream_cache
+    if os.environ.get(CACHE_ENV, "").strip():
+        return None
+    return str(store_path.with_name(store_path.stem + ".stream-cache"))
+
+
+def _ensure_plan(faults_plan: "str | None") -> None:
+    """Activate an explicitly passed fault plan (unless one is already
+    installed) — so plan-driven faults fire even at sites reached before
+    the first :class:`ExperimentRunner` exists (worker entry, pool spawn)."""
+    if faults_plan:
+        faults.ensure(SimpleNamespace(faults=str(faults_plan)))
+
+
+def shard_cells(cells) -> list:
+    """Group cells by content trajectory, preserving first-seen order."""
+    shards: dict = {}
+    for cell in cells:
+        key = (cell.machine, cell.policy, cell.seed, cell.workload,
+               cell.refs_per_core)
+        shards.setdefault(key, []).append(cell)
+    return list(shards.values())
+
+
+# --------------------------------------------------------------- metrics
+def _metrics(result, num_levels: int) -> dict:
+    """Deterministic scalar metrics for one cell row."""
+    out = {
+        "exec_cycles": float(result.exec_cycles),
+        "dynamic_nj": float(result.dynamic_nj),
+        "static_nj": float(result.static_nj),
+        "total_nj": float(result.total_nj),
+        "l1_misses": int(result.l1_misses),
+        "skips": int(result.skips),
+        "false_positives": int(result.false_positives),
+        "true_misses": int(result.true_misses),
+        "skip_coverage": float(result.skip_coverage),
+        "recal_stall_cycles": float(result.recal_stall_cycles),
+    }
+    for lvl in range(1, num_levels + 1):
+        out[f"hit_rate_L{lvl}"] = float(result.hit_rates.get(lvl, 0.0))
+    return out
+
+
+def _counters() -> dict:
+    sess = telemetry.active()
+    return dict(sess.registry.counters) if sess is not None else {}
+
+
+_FAULT_PREFIXES = ("faults.", "stream_cache.", "parallel.")
+
+
+def _fault_delta(before: dict) -> dict:
+    """Per-cell fault/cache counter movement (the row's fault summary)."""
+    sess = telemetry.active()
+    if sess is None:
+        return {}
+    out = {}
+    for key, value in sess.registry.counters.items():
+        if not key.startswith(_FAULT_PREFIXES):
+            continue
+        delta = value - before.get(key, 0)
+        if delta:
+            out[key] = delta
+    return out
+
+
+def _execute_cells(cells, sweep_name: str, stream_cache: "str | None",
+                   faults_plan: "str | None") -> tuple:
+    """Run one shard's cells in this process; returns (rows, failures).
+
+    One runner per shard: the content walk happens once (via the shared
+    disk cache when enabled) and every scheme cell replays against it.
+    """
+    rows, failures = [], []
+    cfg = cells[0].sim_config(stream_cache=stream_cache, faults=faults_plan)
+    runner = ExperimentRunner(cfg)
+    for cell in cells:
+        label = cell.label()
+        fingerprint = cell.fingerprint()
+        fired = faults.check("sweep.cell", key=cell.workload)
+        before = _counters()
+        t0 = time.perf_counter()
+        try:
+            if fired is not None:
+                raise faults.InjectedWorkerError(
+                    f"injected cell failure for {label}"
+                )
+            with telemetry.span("sweep_cell", cell=label):
+                result = runner.run(cell.workload, build_scheme(cell, cfg.machine))
+        except Exception as exc:
+            reason = f"{exc.__class__.__name__}: {exc}"
+            faults.handled("sweep.cell", "cell_skipped", cell=label, error=reason)
+            warnings.warn(
+                f"sweep cell {label} failed ({reason}); skipped — "
+                f"rerun the sweep to retry it",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            failures.append((fingerprint, label, reason))
+            continue
+        wall = time.perf_counter() - t0
+        canon = cell.canonical()
+        rows.append(CellRow(
+            fingerprint=fingerprint,
+            sweep=sweep_name,
+            machine=canon.machine,
+            workload=canon.workload,
+            scheme=canon.scheme,
+            policy=canon.policy,
+            refs_per_core=canon.refs_per_core,
+            seed=canon.seed,
+            pt_kb=canon.pt_kb,
+            recal_multiple=canon.recal_multiple,
+            probe_mode=canon.probe_mode,
+            metrics=_metrics(result, cfg.machine.num_levels),
+            energy={cat: float(result.ledger.category_nj(cat))
+                    for cat in ENERGY_CATEGORIES},
+            wall_s=wall,
+            faults=_fault_delta(before),
+        ))
+    return rows, failures
+
+
+def run_shard(payloads: list, sweep_name: str, stream_cache: "str | None",
+              faults_plan: "str | None") -> tuple:
+    """Worker entry point (module-level, picklable).
+
+    Cells travel as dicts and are rebuilt here — same rationale as
+    :func:`repro.sim.parallel.walk_one`.  The worker always runs its own
+    telemetry session so per-cell fault summaries exist even when the
+    parent is untraced; the parent merges the snapshot only when tracing.
+    The ``parallel.worker`` fault site fires at entry, keyed by the
+    shard's workload, so existing crash/hang plans apply unchanged.
+    """
+    cells = [CellSpec(**p) for p in payloads]
+    _ensure_plan(faults_plan)
+    _worker_faults(cells[0].workload)
+    with telemetry.session(force=True, label=f"sweep-{cells[0].workload}") as sess:
+        rows, failures = _execute_cells(cells, sweep_name, stream_cache,
+                                        faults_plan)
+        snapshot = sess.snapshot()
+    return rows, failures, snapshot
+
+
+def _ingest(store: ResultsStore, rows, failures, report: SweepReport) -> None:
+    """Record one shard's outcome (parent-side single writer)."""
+    for row in rows:
+        if store.append(row):
+            report.completed += 1
+            telemetry.count("sweep.cells.completed")
+            telemetry.event("sweep.cell", fingerprint=row.fingerprint,
+                            cell=f"{row.workload}/{row.scheme}",
+                            wall_s=round(row.wall_s, 6))
+        else:
+            # Another run of the same spec got there first (e.g. two
+            # resumes racing): append-only means first write wins and
+            # ours — bit-identical by construction — is dropped.
+            report.resumed += 1
+            telemetry.count("sweep.cells.resumed")
+    for fingerprint, label, reason in failures:
+        report.failed.append((fingerprint, label, reason))
+        telemetry.count("sweep.cells.failed")
+        telemetry.event("sweep.cell_failed", fingerprint=fingerprint,
+                        cell=label, reason=reason)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    store_path: "str | Path",
+    workers: "int | None" = None,
+    timeout_s: "float | None" = None,
+    max_cells: "int | None" = None,
+    faults_plan: "str | None" = None,
+) -> SweepReport:
+    """Run (or resume) one sweep; every completed cell lands in the store.
+
+    ``max_cells`` bounds how many *pending* cells this invocation runs —
+    the CI smoke and the resume tests use it to stop a sweep "mid-run"
+    deterministically; production runs leave it ``None``.
+    """
+    store_path = Path(store_path)
+    _ensure_plan(faults_plan)
+    cells = spec.cells()
+    report = SweepReport(sweep=spec.name, store_path=store_path,
+                         total=len(cells), resumed=0, completed=0)
+    stream_cache = sweep_stream_cache(spec, store_path)
+    nworkers = workers if workers is not None else default_workers()
+    timeout = timeout_s if timeout_s is not None else default_worker_timeout()
+
+    t0 = time.perf_counter()
+    with ResultsStore(store_path) as store:
+        done = store.completed()
+        pending = []
+        for cell in cells:
+            if cell.fingerprint() in done:
+                report.resumed += 1
+                telemetry.count("sweep.cells.resumed")
+            else:
+                pending.append(cell)
+        if max_cells is not None:
+            pending = pending[:max_cells]
+        shards = shard_cells(pending)
+        report.shards = len(shards)
+        report.workers = min(nworkers, len(shards)) if shards else 0
+
+        with telemetry.span("sweep", sweep=spec.name, cells=len(cells),
+                            pending=len(pending), shards=len(shards)):
+            telemetry.count("sweep.runs")
+            telemetry.count("sweep.cells.planned", len(cells))
+            if shards:
+                if nworkers == 1 or len(shards) == 1:
+                    for shard in shards:
+                        rows, failures = _execute_cells(
+                            shard, spec.name, stream_cache, faults_plan)
+                        _ingest(store, rows, failures, report)
+                else:
+                    _run_pooled(shards, spec, store, report, stream_cache,
+                                faults_plan, nworkers, timeout)
+        report.wall_s = time.perf_counter() - t0
+        report.digest = store.digest()
+    return report
+
+
+def _run_pooled(shards, spec, store, report, stream_cache, faults_plan,
+                nworkers, timeout) -> None:
+    """Fan shards over a process pool, absorbing every worker loss.
+
+    Same policy stack as :func:`prewarm_streams`: spawn failure degrades
+    to all-serial; a timeout/crash/exception costs only that shard, which
+    re-runs serially in the parent (skipping the worker-entry fault site,
+    so an injected crash does not re-fire in the fallback)."""
+    try:
+        fired = faults.check("parallel.pool")
+        if fired is not None and fired.kind == "spawn_fail":
+            raise faults.InjectedFault(11, "injected pool spawn failure")
+        pool = ProcessPoolExecutor(max_workers=min(nworkers, len(shards)))
+    except OSError as exc:
+        faults.handled("parallel.pool", "serial_all", workloads=len(shards),
+                       error=f"{exc.__class__.__name__}: {exc}")
+        warnings.warn(
+            f"sweep pool failed to spawn ({exc}); running "
+            f"{len(shards)} shard(s) serially",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        for shard in shards:
+            rows, failures = _execute_cells(shard, spec.name, stream_cache,
+                                            faults_plan)
+            _ingest(store, rows, failures, report)
+        return
+    telemetry.count("parallel.pools")
+    traced = telemetry.active() is not None
+    lost: list = []
+    abandoned = False
+    try:
+        futures = [
+            (shard, pool.submit(run_shard, [asdict(c) for c in shard],
+                                spec.name, stream_cache, faults_plan))
+            for shard in shards
+        ]
+        for shard, fut in futures:
+            label = shard[0].workload
+            try:
+                rows, failures, snapshot = fut.result(timeout=timeout)
+            except FutureTimeoutError:
+                lost.append((shard, f"timed out after {timeout:g}s"))
+                abandoned = True
+                continue
+            except BrokenExecutor:
+                lost.append((shard, "died without returning a result "
+                                    "(process pool broken)"))
+                abandoned = True
+                continue
+            except Exception as exc:
+                lost.append((shard, f"raised {exc.__class__.__name__}: {exc}"))
+                continue
+            if traced:
+                telemetry.merge_snapshot(snapshot)
+            _ingest(store, rows, failures, report)
+    finally:
+        pool.shutdown(wait=not abandoned, cancel_futures=True)
+    for shard, reason in lost:
+        telemetry.count("parallel.worker_lost")
+        faults.handled("parallel.worker", "serial_fallback",
+                       workload=shard[0].workload, reason=reason)
+        warnings.warn(
+            f"sweep worker for {shard[0].workload!r} {reason}; "
+            f"re-running the shard serially",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        rows, failures = _execute_cells(shard, spec.name, stream_cache,
+                                        faults_plan)
+        _ingest(store, rows, failures, report)

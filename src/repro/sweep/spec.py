@@ -1,0 +1,366 @@
+"""Sweep grids: declarative axes -> concrete, fingerprinted cells.
+
+A :class:`SweepSpec` names lists of values along each axis the simulator
+exposes — machine, workload, scheme, inclusion policy, seed, prediction-
+table size, recalibration period, probe mode — and :meth:`SweepSpec.cells`
+expands their cartesian product into :class:`CellSpec` instances.
+
+Two properties make the expansion safe to resume and to share:
+
+* **canonicalization** — an axis that does not apply to a scheme is
+  normalized away before fingerprinting (``pt_kb`` means nothing to the
+  Base scheme; ``recal_multiple`` means nothing to CBF), so a grid that
+  sweeps PT sizes against both Base and ReDHiP produces *one* Base cell,
+  not one per size.  Duplicates collapse by fingerprint, first occurrence
+  wins.
+* **content-addressed fingerprints** — :meth:`CellSpec.fingerprint` is a
+  digest of the canonical cell identity plus the store schema version.
+  The fingerprint is the resume key: any process, on any host, expanding
+  the same spec computes the same fingerprints, so "skip completed cells"
+  needs no coordination beyond the results store itself.
+
+Sweep files are plain JSON (see ``tests/golden/sweep_smoke.json``)::
+
+    {
+      "name": "demo",
+      "machines": ["tiny"],
+      "workloads": ["mcf", "lbm"],
+      "schemes": ["base", "redhip"],
+      "refs_per_core": 4000,
+      "seeds": [1, 2],
+      "pt_kb": [null, 32],
+      "recal_multiples": [1, "inf"],
+      "probe_modes": ["parallel", "phased"]
+    }
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import math
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.energy.params import MACHINES, get_machine
+from repro.hierarchy.inclusion import InclusionPolicy
+from repro.results.store import STORE_SCHEMA, canonical_json
+from repro.sim.config import SimConfig
+from repro.util.validation import ConfigError, check_positive
+from repro.workloads import EXTENDED_NAMES, SPEC_NAMES
+
+__all__ = [
+    "PREDICTOR_SCHEMES",
+    "SWEEP_SCHEMES",
+    "CellSpec",
+    "SweepSpec",
+    "build_scheme",
+    "known_workloads",
+    "load_sweep",
+]
+
+#: Scheme axis vocabulary: the §V line-up by construction recipe.
+SWEEP_SCHEMES = ("base", "oracle", "phased", "waypred", "cbf", "redhip")
+
+#: Schemes that consult a prediction table — the only ones for which the
+#: ``pt_kb`` and ``probe_mode`` axes are meaningful.
+PREDICTOR_SCHEMES = frozenset({"cbf", "redhip"})
+
+_PROBE_MODES = ("parallel", "phased", "waypred")
+
+
+def known_workloads() -> tuple:
+    """Every name :func:`repro.workloads.get_workload` can build."""
+    return tuple(sorted((*SPEC_NAMES, *EXTENDED_NAMES, "mix", "blas", "pmf")))
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One concrete grid point: everything needed to run and identify it.
+
+    Axis semantics:
+
+    ``pt_kb``
+        prediction-table budget in KiB (``None`` = the machine's default
+        table); predictor schemes only.
+    ``recal_multiple``
+        recalibration period as a multiple of the machine's paper-cadence
+        default (:func:`repro.sim.config.default_recal_period`);
+        ``float("inf")`` means never recalibrate; ReDHiP only.
+    ``probe_mode``
+        how the levels a predictor scheme *does* probe are accessed:
+        ``parallel`` (default), ``phased`` or ``waypred`` at the large
+        lower levels — composing ReDHiP with the energy alternatives it is
+        compared against.  Non-predictor schemes carry their probe
+        discipline in the scheme itself (``phased``/``waypred`` rows).
+    """
+
+    machine: str
+    workload: str
+    scheme: str
+    policy: str = "inclusive"
+    refs_per_core: int = 4000
+    seed: int = 1
+    pt_kb: "float | None" = None
+    recal_multiple: "float | None" = 1.0
+    probe_mode: "str | None" = "parallel"
+
+    def __post_init__(self) -> None:
+        if self.machine not in MACHINES:
+            raise ConfigError(
+                f"unknown machine {self.machine!r}; valid: {sorted(MACHINES)}"
+            )
+        if self.scheme not in SWEEP_SCHEMES:
+            raise ConfigError(
+                f"unknown scheme {self.scheme!r}; valid: {list(SWEEP_SCHEMES)}"
+            )
+        if self.workload not in known_workloads():
+            raise ConfigError(
+                f"unknown workload {self.workload!r}; "
+                f"valid: {list(known_workloads())}"
+            )
+        InclusionPolicy.parse(self.policy)
+        check_positive("refs_per_core", self.refs_per_core)
+        if self.probe_mode is not None and self.probe_mode not in _PROBE_MODES:
+            raise ConfigError(
+                f"unknown probe mode {self.probe_mode!r}; valid: {_PROBE_MODES}"
+            )
+        if self.pt_kb is not None:
+            check_positive("pt_kb", self.pt_kb)
+        if self.recal_multiple is not None and not (
+            self.recal_multiple > 0
+        ):  # accepts inf, rejects 0/negative/nan
+            raise ConfigError("recal_multiple must be positive (or inf)")
+
+    # ------------------------------------------------------- canonical id
+    def canonical(self) -> "CellSpec":
+        """Normalize inapplicable axes so equivalent cells collide."""
+        changes = {}
+        if self.scheme not in PREDICTOR_SCHEMES:
+            if self.pt_kb is not None:
+                changes["pt_kb"] = None
+            if self.probe_mode is not None:
+                changes["probe_mode"] = None
+        elif self.probe_mode is None:
+            changes["probe_mode"] = "parallel"
+        if self.scheme != "redhip" and self.recal_multiple is not None:
+            changes["recal_multiple"] = None
+        return replace(self, **changes) if changes else self
+
+    def identity(self) -> dict:
+        """The canonical JSON-able identity the fingerprint digests."""
+        cell = self.canonical()
+        return {
+            "schema": STORE_SCHEMA,
+            "machine": cell.machine,
+            "workload": cell.workload,
+            "scheme": cell.scheme,
+            "policy": InclusionPolicy.parse(cell.policy).value,
+            "refs_per_core": int(cell.refs_per_core),
+            "seed": int(cell.seed),
+            "pt_kb": _json_number(cell.pt_kb),
+            "recal_multiple": _json_number(cell.recal_multiple),
+            "probe_mode": cell.probe_mode,
+        }
+
+    def fingerprint(self) -> str:
+        """Content address of this cell: identical on every host and in
+        every process that expands the same spec — the resume key."""
+        doc = canonical_json(self.identity())
+        return hashlib.blake2b(doc.encode(), digest_size=16).hexdigest()
+
+    # -------------------------------------------------------- realization
+    def sim_config(self, stream_cache: "str | None" = None,
+                   faults: "str | None" = None) -> SimConfig:
+        """The content-trajectory config this cell pins."""
+        return SimConfig(
+            machine=get_machine(self.machine),
+            policy=self.policy,
+            refs_per_core=self.refs_per_core,
+            seed=self.seed,
+            stream_cache=stream_cache,
+            faults=faults,
+        )
+
+    def label(self) -> str:
+        """Human-readable cell tag for logs and telemetry events."""
+        cell = self.canonical()
+        parts = [cell.machine, cell.workload, cell.scheme, cell.policy,
+                 f"s{cell.seed}"]
+        if cell.pt_kb is not None:
+            parts.append(f"pt{cell.pt_kb:g}K")
+        if cell.recal_multiple is not None:
+            parts.append(f"recal{cell.recal_multiple:g}")
+        if cell.probe_mode not in (None, "parallel"):
+            parts.append(cell.probe_mode)
+        return "-".join(parts)
+
+
+def _json_number(value):
+    if value is None:
+        return None
+    if isinstance(value, float) and math.isinf(value):
+        return "inf"
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+def build_scheme(cell: CellSpec, machine):
+    """The :class:`~repro.predictors.base.SchemeSpec` a cell evaluates.
+
+    Imported lazily (predictors pull in the simulator stack); the probe-
+    mode composition leans on the charging kernel being entirely
+    plan-driven — a predictor scheme with ``phased_levels`` charges phased
+    probes at those levels whenever it probes at all.
+    """
+    from repro.core.redhip import redhip_scheme
+    from repro.predictors.base import (
+        base_scheme,
+        oracle_scheme,
+        phased_scheme,
+        waypred_scheme,
+    )
+    from repro.predictors.cbf_scheme import cbf_scheme
+
+    cell = cell.canonical()
+    if cell.scheme == "base":
+        return base_scheme()
+    if cell.scheme == "oracle":
+        return oracle_scheme()
+    if cell.scheme == "phased":
+        return phased_scheme()
+    if cell.scheme == "waypred":
+        return waypred_scheme()
+    table_bytes = int(cell.pt_kb * 1024) if cell.pt_kb is not None else None
+    if cell.scheme == "cbf":
+        spec = cbf_scheme(budget_bytes=table_bytes)
+    else:
+        period = None
+        if cell.recal_multiple is not None and math.isfinite(cell.recal_multiple):
+            from repro.sim.config import default_recal_period
+
+            period = max(1, round(cell.recal_multiple * default_recal_period(machine)))
+        spec = redhip_scheme(table_bytes=table_bytes, recal_period=period)
+    if cell.probe_mode == "phased":
+        spec = replace(spec, phased_levels=(3, 4))
+    elif cell.probe_mode == "waypred":
+        spec = replace(spec, way_predicted_levels=(3, 4))
+    return spec
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative grid over every axis the simulator exposes."""
+
+    name: str
+    machines: tuple = ("tiny",)
+    workloads: tuple = ()
+    schemes: tuple = ("base", "redhip")
+    policies: tuple = ("inclusive",)
+    refs_per_core: int = 4000
+    seeds: tuple = (1,)
+    pt_kb: tuple = (None,)
+    recal_multiples: tuple = (1.0,)
+    probe_modes: tuple = ("parallel",)
+    #: Shared stream-cache directory for every worker (None = honour
+    #: ``REPRO_STREAM_CACHE``; the scheduler defaults it per store).
+    stream_cache: "str | None" = None
+    notes: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("sweep spec needs a name")
+        if not self.workloads:
+            raise ConfigError("sweep spec needs at least one workload")
+        check_positive("refs_per_core", self.refs_per_core)
+
+    def cells(self) -> list:
+        """Expand the grid: canonicalized, deduplicated, stable order."""
+        seen: dict = {}
+        for (machine, workload, scheme, policy, seed,
+             pt, recal, probe) in itertools.product(
+            self.machines, self.workloads, self.schemes, self.policies,
+            self.seeds, self.pt_kb, self.recal_multiples, self.probe_modes,
+        ):
+            if (scheme in PREDICTOR_SCHEMES
+                    and not InclusionPolicy.parse(policy).llc_is_superset):
+                # Two-phase predictor evaluation needs an LLC-superset
+                # policy (see ExperimentRunner._check_policy); the combo
+                # is not a valid grid point, not a failure to record.
+                continue
+            cell = CellSpec(
+                machine=machine, workload=workload, scheme=scheme,
+                policy=policy, refs_per_core=self.refs_per_core,
+                seed=seed, pt_kb=pt, recal_multiple=recal, probe_mode=probe,
+            ).canonical()
+            seen.setdefault(cell.fingerprint(), cell)
+        return list(seen.values())
+
+    def to_json(self) -> str:
+        doc = {
+            "name": self.name,
+            "machines": list(self.machines),
+            "workloads": list(self.workloads),
+            "schemes": list(self.schemes),
+            "policies": list(self.policies),
+            "refs_per_core": self.refs_per_core,
+            "seeds": list(self.seeds),
+            "pt_kb": [_json_number(v) for v in self.pt_kb],
+            "recal_multiples": [_json_number(v) for v in self.recal_multiples],
+            "probe_modes": list(self.probe_modes),
+        }
+        if self.stream_cache:
+            doc["stream_cache"] = self.stream_cache
+        if self.notes:
+            doc["notes"] = self.notes
+        return json.dumps(doc, indent=2) + "\n"
+
+
+_SWEEP_KEYS = {
+    "name", "machines", "workloads", "schemes", "policies", "refs_per_core",
+    "seeds", "pt_kb", "recal_multiples", "probe_modes", "stream_cache",
+    "notes",
+}
+
+_LIST_KEYS = {"machines", "workloads", "schemes", "policies", "seeds",
+              "pt_kb", "recal_multiples", "probe_modes"}
+
+
+def _parse_multiple(value):
+    """Recal multiples: JSON numbers, plus the string ``"inf"``."""
+    if isinstance(value, str):
+        if value.lower() in ("inf", "infinity", "never"):
+            return float("inf")
+        raise ConfigError(f"bad recal multiple {value!r} (number or 'inf')")
+    return float(value)
+
+
+def load_sweep(path: "str | Path") -> SweepSpec:
+    """Parse and validate a sweep JSON file (fail fast, name the key)."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"{path}: not valid JSON ({exc})") from None
+    if not isinstance(doc, dict):
+        raise ConfigError(f"{path}: sweep file must be a JSON object")
+    unknown = set(doc) - _SWEEP_KEYS
+    if unknown:
+        raise ConfigError(
+            f"{path}: unknown sweep key(s) {sorted(unknown)}; "
+            f"valid: {sorted(_SWEEP_KEYS)}"
+        )
+    kwargs = {}
+    for key, value in doc.items():
+        if key in _LIST_KEYS:
+            if not isinstance(value, list) or not value:
+                raise ConfigError(f"{path}: {key!r} must be a non-empty list")
+            if key == "recal_multiples":
+                value = [_parse_multiple(v) for v in value]
+            kwargs[key] = tuple(value)
+        else:
+            kwargs[key] = value
+    kwargs.setdefault("name", path.stem)
+    return SweepSpec(**kwargs)

@@ -92,3 +92,31 @@ def test_scheme_comparison_table_rows_and_zeros(tiny_runner):
     lookup_row = next(l for l in table.splitlines() if l.startswith("lookup"))
     assert "-" not in lookup_row.replace("lookup", "")
     assert "0" in lookup_row
+
+
+# ------------------------------------------------------------- prewarm
+def test_prewarm_reports_dropped_workload_objects(monkeypatch, tiny_machine):
+    """Regression: non-string workload entries (explicit Workload
+    objects, which cannot be rebuilt by name inside a worker) were
+    silently dropped from the parallel prewarm; now the drop emits a
+    structured ``prewarm.skipped_workloads`` event."""
+    from repro import telemetry
+    from repro.experiments.driver import ExperimentContext, _maybe_prewarm
+    from repro.workloads import get_workload
+
+    spec = get_spec("fig6")
+    cfg = SimConfig(machine=tiny_machine, refs_per_core=1000, seed=1)
+    ctx = ExperimentContext(spec, cfg)
+    explicit = get_workload("mcf", tiny_machine, 1000, 1)
+    monkeypatch.setenv("REPRO_PARALLEL", "1")
+    prewarmed = []
+    monkeypatch.setattr("repro.sim.parallel.prewarm_streams",
+                        lambda runner, names, **kw: prewarmed.append(names))
+    with telemetry.session(force=True, label="test") as sess:
+        _maybe_prewarm(ctx, ["mcf", explicit])
+        events = [e for e in sess.events
+                  if e["name"] == "prewarm.skipped_workloads"]
+    assert len(events) == 1
+    assert events[0]["skipped"] == 1 and events[0]["total"] == 2
+    assert "cannot prewarm by name" in events[0]["reason"]
+    assert prewarmed == []  # one name left -> nothing worth a pool

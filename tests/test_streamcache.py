@@ -218,3 +218,94 @@ def test_cache_cli_ls_verify_clear(cached_config, capsys):
     assert "removed 2" in capsys.readouterr().out
     assert main(["cache", "ls", "--dir", cache_dir]) == 0
     assert "empty" in capsys.readouterr().out
+
+
+# ------------------------------------------------- hardened failure paths
+def test_save_survives_uncreatable_directory(cached_config, tmp_path):
+    """Regression: ``save`` used to mkdir *outside* the retry/skip
+    envelope, so an uncreatable cache directory (permissions, ENOSPC, a
+    file squatting on the path) crashed the run instead of degrading to
+    an uncached walk."""
+    stream = _walk(cached_config)
+    blocker = tmp_path / "blocker"
+    blocker.write_text("not a directory")
+    cache = StreamCache(blocker / "cache")  # mkdir must fail: parent is a file
+    key = stream_key("mcf", cached_config)
+    with pytest.warns(RuntimeWarning, match="continuing uncached"):
+        assert cache.save(key, stream) is None
+    assert blocker.is_file()  # nothing trampled the blocker
+
+
+def test_save_skips_on_non_io_error_without_tmp_leak(
+    cached_config, monkeypatch
+):
+    """Regression: a non-OSError inside ``np.savez`` (bad dtype, pickling
+    failure) escaped ``save`` entirely *and* leaked the ``*.npz.tmp-*``
+    temp file.  Now: warn, return None, leave no droppings."""
+    stream = _walk(cached_config)
+    cache = resolve_cache(cached_config)
+
+    def bad_savez(*args, **kwargs):
+        raise ValueError("cannot pickle object arrays")
+
+    monkeypatch.setattr("repro.sim.streamcache.np.savez", bad_savez)
+    key = stream_key("bwaves", cached_config)
+    with pytest.warns(RuntimeWarning, match="continuing uncached"):
+        assert cache.save(key, _walk(cached_config, "bwaves")) is None
+    assert list(cache.directory.glob("*.tmp-*")) == []
+    assert not cache.path_for(key).exists()
+    # the original mcf entry is untouched
+    assert cache.load(stream_key("mcf", cached_config)) is not None
+
+
+def test_entries_skips_file_deleted_between_glob_and_stat(
+    cached_config, monkeypatch
+):
+    """Regression: ``entries()`` called ``path.stat()`` outside its try
+    block, so a concurrent ``load`` discard or ``clear()`` deleting a
+    file between the glob and the stat aborted ``repro cache ls`` and
+    ``verify`` with FileNotFoundError."""
+    import os as _os
+
+    _walk(cached_config, "mcf")
+    _walk(cached_config, "bwaves")
+    cache = resolve_cache(cached_config)
+    before = cache.entries()
+    assert len(before) == 2
+    victim = before[0].path
+    real_stat = Path.stat
+    state = {"fired": False}
+
+    def racy_stat(self, *args, **kwargs):
+        if self.name == victim.name and not state["fired"]:
+            state["fired"] = True
+            _os.unlink(victim)  # the concurrent writer wins the race
+            raise FileNotFoundError(2, "deleted concurrently", str(self))
+        return real_stat(self, *args, **kwargs)
+
+    monkeypatch.setattr(Path, "stat", racy_stat)
+    survivors = cache.entries()
+    assert state["fired"]
+    assert [e.path for e in survivors] == [before[1].path]
+    assert all(e.ok for e in survivors)
+
+
+def test_load_treats_concurrent_clear_as_plain_miss(cached_config, monkeypatch):
+    """An entry deleted between ``load``'s existence check and the read
+    (another process's ``clear``) is an ordinary miss — no discard
+    warning, nothing reported corrupt."""
+    import warnings as _warnings
+
+    _walk(cached_config)
+    cache = resolve_cache(cached_config)
+    key = stream_key("mcf", cached_config)
+    real = StreamCache._read_checked
+
+    def read_after_clear(self, path, k):
+        path.unlink(missing_ok=True)
+        return real(self, path, k)
+
+    monkeypatch.setattr(StreamCache, "_read_checked", read_after_clear)
+    with _warnings.catch_warnings():
+        _warnings.simplefilter("error")  # any discard warning -> failure
+        assert cache.load(key) is None

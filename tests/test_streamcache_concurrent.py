@@ -1,0 +1,116 @@
+"""Concurrent writers hammering one shared stream-cache directory.
+
+The sweep scheduler points every worker at the same cache, so save/load/
+entries/clear interleave freely across processes.  The contract under
+test: no interleaving may crash a participant, and a successful ``load``
+is always the bit-identical stream (fingerprint-verified) — a concurrent
+``clear`` or in-flight write can only ever produce a miss, never a wrong
+or torn result.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import traceback
+import warnings
+
+import pytest
+
+from repro.energy.params import get_machine
+from repro.sim.config import SimConfig
+from repro.sim.content import ContentSimulator
+from repro.sim.streamcache import StreamCache, stream_key
+from repro.workloads import get_workload
+
+pytestmark = pytest.mark.filterwarnings("ignore::RuntimeWarning")
+
+_REFS = 600
+
+
+def _stream_and_key(directory):
+    cfg = SimConfig(machine=get_machine("tiny"), refs_per_core=_REFS, seed=3,
+                    stream_cache=str(directory))
+    workload = get_workload("mcf", cfg.machine, cfg.refs_per_core, cfg.seed)
+    stream = ContentSimulator(cfg).run(workload)
+    return stream, stream_key("mcf", cfg)
+
+
+def _hammer(directory, role, rounds, errors):
+    """One participant: walk the trajectory, then interleave cache ops.
+
+    Roles phase the operation mix so saves, loads, listings and clears
+    genuinely overlap across processes instead of lockstepping.
+    """
+    try:
+        warnings.simplefilter("ignore")  # discard/skip warnings are expected
+        cache = StreamCache(directory)
+        stream, key = _stream_and_key(directory)
+        expected = stream.fingerprint()
+        for i in range(rounds):
+            op = (i + role) % 4
+            if op == 0:
+                cache.save(key, stream)
+            elif op == 1:
+                loaded = cache.load(key)
+                if loaded is not None and loaded.fingerprint() != expected:
+                    errors.put(f"role {role}: load returned a wrong stream")
+            elif op == 2:
+                for entry in cache.entries():
+                    if entry.ok and entry.fingerprint != expected:
+                        errors.put(f"role {role}: ls saw a wrong fingerprint")
+            else:
+                cache.clear()
+        # leave the cache warm so the parent can assert a clean final state
+        cache.save(key, stream)
+    except BaseException:
+        errors.put(f"role {role} crashed:\n{traceback.format_exc()}")
+
+
+def test_concurrent_save_load_clear_never_crash_never_lie(tmp_path):
+    directory = tmp_path / "shared-cache"
+    ctx = mp.get_context("spawn")
+    errors = ctx.Queue()
+    procs = [
+        ctx.Process(target=_hammer, args=(str(directory), role, 12, errors))
+        for role in range(3)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=120)
+    problems = []
+    for p in procs:
+        if p.is_alive():
+            p.terminate()
+            problems.append("participant hung")
+        elif p.exitcode != 0:
+            problems.append(f"participant exited {p.exitcode}")
+    while not errors.empty():
+        problems.append(errors.get())
+    assert not problems, "\n".join(problems)
+
+    # Final state is coherent: the last saves won, the entry verifies.
+    cache = StreamCache(directory)
+    stream, key = _stream_and_key(directory)
+    loaded = cache.load(key)
+    assert loaded is not None
+    assert loaded.fingerprint() == stream.fingerprint()
+    ok, bad = cache.verify()
+    assert not bad
+    assert not list(directory.glob("*.tmp-*"))  # no leaked temp files
+
+
+def test_two_process_interleaving_is_deterministic_per_op(tmp_path):
+    """Sequentialized two-actor sanity: every op either succeeds or
+    reports a miss — the shared-directory API never raises outward."""
+    directory = tmp_path / "pair-cache"
+    cache_a = StreamCache(directory)
+    cache_b = StreamCache(directory)
+    stream, key = _stream_and_key(directory)
+    assert cache_a.save(key, stream) is not None
+    assert cache_b.load(key).fingerprint() == stream.fingerprint()
+    assert cache_b.clear() == 1
+    assert cache_a.load(key) is None          # miss, not an error
+    assert cache_a.entries() == []
+    assert cache_a.save(key, stream) is not None
+    assert cache_b.load(key).fingerprint() == stream.fingerprint()
