@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Fold every BENCH_*.json perf artifact into one trend table.
+
+Each perf PR commits a flat ``BENCH_<tag>.json`` at the repo root; this
+script (and ``repro report``, which embeds the same table) lines them up
+so a new perf number always lands next to its predecessors.
+
+Usage::
+
+    python scripts/bench_trend.py            # text table from ./BENCH_*.json
+    python scripts/bench_trend.py --json     # machine-readable rows
+    python scripts/bench_trend.py --root DIR # scan another directory
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.results.trend import collect_bench, render_trend  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fold BENCH_*.json artifacts into one trend table"
+    )
+    parser.add_argument("--root", type=Path, default=Path("."),
+                        help="directory scanned for BENCH_*.json "
+                             "(default: .)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the rows as JSON instead of a table")
+    args = parser.parse_args(argv)
+
+    rows = collect_bench(args.root)
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+    else:
+        print(render_trend(rows))
+    return 0 if rows else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

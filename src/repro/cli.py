@@ -13,6 +13,8 @@ Examples::
     python -m repro chaos --plan tests/golden/chaos_plan.json
     python -m repro sweep tests/golden/sweep_smoke.json --store results.sqlite
     python -m repro query results.sqlite --where scheme=redhip --csv
+    python -m repro watch results.sqlite --once
+    python -m repro report results.sqlite --json
 
 ``run`` prints the same rows/series the paper's figure shows; ``--out``
 additionally writes a markdown file per artifact.
@@ -223,6 +225,45 @@ def build_parser() -> argparse.ArgumentParser:
                     help="print only the canonical-view digest (two stores "
                          "filled by any mix of resumed runs of one spec "
                          "agree here)")
+
+    wa = sub.add_parser(
+        "watch",
+        help="live (or --once snapshot) view of a sweep's progress "
+             "journal + results store: cell counts, throughput, stage "
+             "tails, worker heartbeats, ETA, recent fault events; works "
+             "on in-progress, killed, and finished runs",
+    )
+    wa.add_argument("target", type=Path,
+                    help="results store (.sqlite) or journal "
+                         "(.journal.ndjson) path")
+    wa.add_argument("--once", action="store_true",
+                    help="render one frame and exit (default: refresh "
+                         "until the journal records run_finished)")
+    wa.add_argument("--interval", type=float, default=2.0,
+                    help="refresh period in seconds (default: 2)")
+    wa.add_argument("--events", type=int, default=5,
+                    help="how many recent fault/failure events to show "
+                         "(default: 5)")
+
+    rp = sub.add_parser(
+        "report",
+        help="post-run sweep summary joining the journal, the results "
+             "store and the repo's BENCH_*.json perf trend — the "
+             "artifact CI archives next to the store digest",
+    )
+    rp.add_argument("target", type=Path,
+                    help="results store (.sqlite) or journal "
+                         "(.journal.ndjson) path")
+    rp.add_argument("--journal", type=Path, default=None,
+                    help="explicit journal path (default: next to the "
+                         "store by stem)")
+    rp.add_argument("--json", action="store_true",
+                    help="emit the full report as JSON instead of text")
+    rp.add_argument("--bench-root", type=Path, default=Path("."),
+                    help="directory scanned for BENCH_*.json trend "
+                         "artifacts (default: .)")
+    rp.add_argument("--events", type=int, default=8,
+                    help="tail length for event lists (default: 8)")
 
     st = sub.add_parser(
         "stats",
@@ -520,6 +561,9 @@ def _sweep(args) -> int:
         print(f"FAILED {label}: {reason}  [{fingerprint}]")
     print(f"store {report.store_path} ({report.resumed + report.completed}"
           f"/{report.total} cells) digest {report.digest}")
+    if report.journal_path is not None:
+        print(f"journal {report.journal_path} "
+              f"(watch with `repro watch {report.store_path}`)")
     if report.failed:
         print("rerun the same sweep to retry the failed cells "
               "(completed cells are skipped by fingerprint)")
@@ -574,6 +618,34 @@ def _query(args) -> int:
                       f"-s{row['seed']}  total {row.get('total_nj', 0):.0f} nJ"
                       f"  cycles {row.get('exec_cycles', 0):.0f}")
         print(f"{len(rows)} row(s) in {args.store}")
+    return 0
+
+
+def _watch(args) -> int:
+    """``repro watch``: journal + store joined into live/snapshot frames."""
+    import time as time_mod
+
+    from repro.sweep.watch import build_view, render_view
+
+    while True:
+        view = build_view(args.target, events=args.events)
+        print(render_view(view))
+        if args.once or view.finished:
+            return 0
+        print()
+        time_mod.sleep(max(0.1, args.interval))
+
+
+def _report(args) -> int:
+    """``repro report``: the static journal+store+bench summary."""
+    from repro.sweep.report import build_report, render_report, report_json
+
+    report = build_report(args.target, journal=args.journal,
+                          bench_root=args.bench_root, events=args.events)
+    if args.json:
+        print(report_json(report))
+    else:
+        print(render_report(report))
     return 0
 
 
@@ -666,6 +738,20 @@ def _stats(args) -> int:
               f"{flt.get('handled', 0):.0f} handled, "
               f"{flt.get('retries', 0):.0f} retries, "
               f"{flt.get('workers_lost', 0):.0f} workers lost")
+    hists = {k: h for k, h in m["histograms"].items() if h.get("count")}
+    if hists:
+        print()
+        name_w = max(len("histogram"), max(len(n) for n in hists))
+        print(f"{'histogram'.ljust(name_w)}  {'count':>6}  {'mean':>10}  "
+              f"{'p50':>10}  {'p95':>10}  {'max':>10}")
+        print("-" * (name_w + 54))
+        for name, h in sorted(hists.items()):
+            # p50/p95 appear in manifests written after log-bucket
+            # percentiles landed; older ones fall back to "-".
+            p50 = f"{h['p50']:>10.4g}" if "p50" in h else f"{'-':>10}"
+            p95 = f"{h['p95']:>10.4g}" if "p95" in h else f"{'-':>10}"
+            print(f"{name.ljust(name_w)}  {h['count']:>6}  "
+                  f"{h['mean']:>10.4g}  {p50}  {p95}  {h['max']:>10.4g}")
     if m["events"]:
         print(f"events: {len(m['events'])} "
               f"(first: {m['events'][0].get('name')})")
@@ -738,6 +824,10 @@ def main(argv: list[str] | None = None) -> int:
             return _sweep(args)
         elif args.command == "query":
             return _query(args)
+        elif args.command == "watch":
+            return _watch(args)
+        elif args.command == "report":
+            return _report(args)
         elif args.command == "stats":
             return _stats(args)
         elif args.command == "trace":

@@ -41,7 +41,13 @@ from repro.faults.injector import (
     InjectedWorkerError,
 )
 from repro.faults.plan import SITES, FaultPlan, FaultSpec, RetryPolicy, load_plan
-from repro.faults.retry import RetryExhausted, handled, run_with_retries
+from repro.faults.retry import (
+    RetryExhausted,
+    add_listener,
+    handled,
+    remove_listener,
+    run_with_retries,
+)
 
 __all__ = [
     "FAULTS_ENV",
@@ -54,6 +60,7 @@ __all__ = [
     "InjectedWorkerError",
     "RetryExhausted",
     "RetryPolicy",
+    "add_listener",
     "check",
     "current",
     "damage_file",
@@ -61,6 +68,7 @@ __all__ = [
     "handled",
     "install",
     "load_plan",
+    "remove_listener",
     "retry_policy",
     "run_with_retries",
     "scope",

@@ -20,7 +20,29 @@ import time
 from repro import telemetry
 from repro.faults.plan import RetryPolicy
 
-__all__ = ["RetryExhausted", "run_with_retries", "handled"]
+__all__ = ["RetryExhausted", "run_with_retries", "handled",
+           "add_listener", "remove_listener"]
+
+#: Process-local observers of :func:`handled`, called as
+#: ``listener(site, action, fields)``.  The sweep scheduler parent
+#: registers one to journal every recovery path unconditionally —
+#: unlike the telemetry mirror, which no-ops untraced.  Worker processes
+#: start with an empty list, so journal writes stay parent-only.
+_LISTENERS: list = []
+
+
+def add_listener(listener) -> None:
+    """Register a recovery-path observer (idempotent per object)."""
+    if listener not in _LISTENERS:
+        _LISTENERS.append(listener)
+
+
+def remove_listener(listener) -> None:
+    """Unregister; unknown listeners are ignored."""
+    try:
+        _LISTENERS.remove(listener)
+    except ValueError:
+        pass
 
 
 class RetryExhausted(Exception):
@@ -42,6 +64,13 @@ def handled(site: str, action: str, **fields) -> None:
     """
     telemetry.count("faults.handled", site=site)
     telemetry.event("faults.handled", site=site, action=action, **fields)
+    for listener in list(_LISTENERS):
+        try:
+            listener(site, action, fields)
+        except Exception:
+            # An observer must never turn a *handled* fault into a new
+            # failure; drop it and keep recovering.
+            pass
 
 
 def run_with_retries(site: str, fn, policy: RetryPolicy,

@@ -191,6 +191,19 @@ class ResultsStore:
         (n,) = self._conn.execute("SELECT COUNT(*) FROM cells").fetchone()
         return n
 
+    def wall_stats(self) -> dict:
+        """Wall-time history of every recorded cell: ``{"cells", "total_s",
+        "mean_s", "max_s"}``.  ``repro watch`` derives its ETA from the
+        mean — past cells of the same grid are the best predictor of the
+        remaining ones."""
+        cells, total, mean, peak = self._conn.execute(
+            "SELECT COUNT(*), COALESCE(SUM(wall_s), 0.0), "
+            "COALESCE(AVG(wall_s), 0.0), COALESCE(MAX(wall_s), 0.0) "
+            "FROM cells"
+        ).fetchone()
+        return {"cells": cells, "total_s": total, "mean_s": mean,
+                "max_s": peak}
+
     @staticmethod
     def _where(filters: "dict | None") -> tuple:
         clauses, params = [], []

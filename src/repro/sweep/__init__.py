@@ -11,9 +11,31 @@ and lands every completed cell as one row in an append-only SQLite store
 (:mod:`repro.results.store`).  A killed sweep restarts and skips every
 fingerprint already in the store; ``repro sweep`` / ``repro query`` are
 the CLI verbs.
+
+Observability rides alongside: the scheduler parent streams every
+lifecycle event to an NDJSON journal (:mod:`repro.sweep.journal`) next
+to the store, ``repro watch`` (:mod:`repro.sweep.watch`) renders a live
+or snapshot view of it, and ``repro report`` (:mod:`repro.sweep.report`)
+folds journal + store + bench history into one post-run artifact.
 """
 
+from repro.sweep.journal import (
+    JOURNAL_SCHEMA,
+    SweepJournal,
+    journal_path,
+    read_journal,
+)
 from repro.sweep.scheduler import SweepReport, run_sweep
 from repro.sweep.spec import CellSpec, SweepSpec, load_sweep
 
-__all__ = ["CellSpec", "SweepReport", "SweepSpec", "load_sweep", "run_sweep"]
+__all__ = [
+    "CellSpec",
+    "JOURNAL_SCHEMA",
+    "SweepJournal",
+    "SweepReport",
+    "SweepSpec",
+    "journal_path",
+    "load_sweep",
+    "read_journal",
+    "run_sweep",
+]

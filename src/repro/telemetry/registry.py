@@ -21,8 +21,9 @@ Design constraints (see the module docstring of :mod:`repro.telemetry`):
 
 from __future__ import annotations
 
+import math
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 __all__ = ["Histogram", "MetricsRegistry", "NullRegistry", "NULL_REGISTRY", "metric_key"]
 
@@ -37,16 +38,38 @@ def metric_key(name: str, tags: dict | None = None) -> str:
 
 @dataclass
 class Histogram:
-    """Moment sketch of an observed distribution (count/sum/min/max).
+    """Bounded sketch of an observed distribution: moments + log buckets.
 
     Deliberately bounded — no per-sample storage — so a histogram can sit
-    on a hot path and still snapshot to a four-number dict.
+    on a hot path and still snapshot to a small dict.  Alongside the
+    moments (count/sum/min/max) each observation bumps a logarithmic
+    bucket (base :data:`~Histogram.BASE`, ~12% relative width), which is
+    enough to answer p50/p95 within one bucket of relative error.
+    Bucket counts are plain integers keyed by bucket index, so
+    :meth:`merge` stays *exact*: folding worker snapshots adds counts,
+    and percentiles over the merged histogram equal percentiles over a
+    single registry that saw every observation — the parallel ≡ serial
+    equivalence the telemetry layer guarantees for counters extends to
+    tail latencies.
     """
+
+    #: Log-bucket base; bucket ``i`` covers ``[BASE**i, BASE**(i+1))``.
+    BASE = 1.12
 
     count: int = 0
     total: float = 0.0
     min: float = float("inf")
     max: float = float("-inf")
+    buckets: dict = field(default_factory=dict)   # bucket index -> count
+
+    #: Sentinel bucket for non-positive observations (log undefined).
+    _UNDERFLOW = -(10**9)
+
+    @classmethod
+    def _bucket(cls, value: float) -> int:
+        if value <= 0.0:
+            return cls._UNDERFLOW
+        return math.floor(math.log(value) / math.log(cls.BASE))
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -55,24 +78,58 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        idx = self._bucket(value)
+        self.buckets[idx] = self.buckets.get(idx, 0) + 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Approximate q-quantile (0 < q <= 1) from the bucket counts.
+
+        Walks buckets in value order to the bucket holding the target
+        rank and returns its geometric midpoint, clamped to the exact
+        observed [min, max] — so a single-valued histogram reports its
+        value exactly and the error is otherwise bounded by one bucket
+        width (~±6%).
+        """
+        if not self.count:
+            return 0.0
+        target = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for idx in sorted(self.buckets):
+            cumulative += self.buckets[idx]
+            if cumulative >= target:
+                if idx == self._UNDERFLOW:
+                    return self.min
+                mid = self.BASE ** (idx + 0.5)
+                return min(max(mid, self.min), self.max)
+        return self.max
+
     def to_dict(self) -> dict:
         if not self.count:
-            return {"count": 0, "total": 0.0, "min": None, "max": None, "mean": 0.0}
+            return {"count": 0, "total": 0.0, "min": None, "max": None,
+                    "mean": 0.0, "p50": 0.0, "p95": 0.0, "buckets": {}}
         return {
             "count": self.count,
             "total": self.total,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            # JSON object keys must be strings; merge() converts back.
+            "buckets": {str(idx): n for idx, n in sorted(self.buckets.items())},
         }
 
     def merge(self, other: dict) -> None:
-        """Fold a snapshotted histogram dict into this one."""
+        """Fold a snapshotted histogram dict into this one.
+
+        Snapshots from before buckets existed (no ``"buckets"`` key)
+        still merge their moments; their observations simply carry no
+        percentile weight.
+        """
         if not other.get("count"):
             return
         self.count += int(other["count"])
@@ -81,6 +138,9 @@ class Histogram:
             self.min = float(other["min"])
         if other["max"] is not None and other["max"] > self.max:
             self.max = float(other["max"])
+        for idx, n in other.get("buckets", {}).items():
+            idx = int(idx)
+            self.buckets[idx] = self.buckets.get(idx, 0) + int(n)
 
 
 class _Timer:

@@ -169,6 +169,63 @@ class TestRegistry:
         assert merged["count"] == 2 and merged["mean"] == 3.0
         assert merged["min"] == 1.0 and merged["max"] == 5.0
 
+    def test_histogram_percentiles_bound_the_tail(self):
+        from repro.telemetry.registry import Histogram
+
+        h = Histogram()
+        for v in range(1, 101):
+            h.observe(float(v))
+        # log buckets are ~12% wide: p50/p95 land within one bucket of
+        # the exact ranks (50, 95) and never outside [min, max]
+        assert h.percentile(0.50) == pytest.approx(50.0, rel=0.15)
+        assert h.percentile(0.95) == pytest.approx(95.0, rel=0.15)
+        assert h.min <= h.percentile(0.50) <= h.percentile(0.95) <= h.max
+        d = h.to_dict()
+        assert d["p50"] == h.percentile(0.50) and d["p95"] == h.percentile(0.95)
+        assert sum(d["buckets"].values()) == 100
+
+    def test_histogram_percentile_edge_cases(self):
+        from repro.telemetry.registry import Histogram
+
+        assert Histogram().percentile(0.5) == 0.0
+        single = Histogram()
+        single.observe(7.5)
+        # min/max clamping makes a single-valued histogram exact
+        assert single.percentile(0.5) == 7.5 == single.percentile(0.95)
+        nonpos = Histogram()
+        nonpos.observe(0.0)
+        nonpos.observe(-2.0)
+        assert nonpos.percentile(0.5) == -2.0   # underflow bucket -> min
+
+    def test_histogram_merge_is_percentile_exact(self):
+        """Worker snapshots merging into the parent must not distort the
+        tail: bucket counts add, so the merged percentiles equal those of
+        one registry that saw every observation — the parallel ≡ serial
+        equivalence extended to histograms."""
+        values = [0.01 * i for i in range(1, 200)]
+        whole, a, b = (MetricsRegistry() for _ in range(3))
+        for i, v in enumerate(values):
+            whole.observe("t", v)
+            (a if i % 2 else b).observe("t", v)
+        a.merge(b.snapshot())
+        merged = a.snapshot()["histograms"]["t"]
+        single = whole.snapshot()["histograms"]["t"]
+        assert merged["buckets"] == single["buckets"]
+        assert merged["p50"] == single["p50"]
+        assert merged["p95"] == single["p95"]
+        assert merged["count"] == single["count"]
+        assert merged["total"] == pytest.approx(single["total"])
+
+    def test_histogram_merge_tolerates_pre_bucket_snapshots(self):
+        from repro.telemetry.registry import Histogram
+
+        h = Histogram()
+        h.observe(1.0)
+        # a snapshot from before log buckets existed: moments only
+        h.merge({"count": 3, "total": 9.0, "min": 2.0, "max": 4.0})
+        assert h.count == 4 and h.max == 4.0
+        assert h.percentile(0.5) >= h.min       # still well-defined
+
 
 # ------------------------------------------------- cross-process equivalence
 class TestParallelEquivalence:
