@@ -65,9 +65,12 @@ __all__ = [
     "InvariantViolation",
     "ReplayBundle",
     "ReplayReport",
+    "check_ehc_counters",
+    "check_levelpred_conservation",
     "check_result",
     "default_replay_dir",
     "enabled",
+    "evaluation_context",
     "fingerprint",
     "replay",
 ]
@@ -415,6 +418,86 @@ class CheckedPredictor:
         self._sweeps_seen = inner.engine.sweeps
 
 
+def evaluation_context(machine_name: str, workload: str,
+                       scheme: "str | None") -> CheckContext:
+    """A minimal context for invariants raised by the two-phase
+    evaluator, which has no :class:`SimConfig` in scope.  The bundle it
+    writes records the identity but cannot be replayed access-by-access
+    (evaluator invariants are whole-run conservation properties)."""
+    return CheckContext(
+        config={"machine": machine_name},
+        workload=workload,
+        runner="evaluate",
+        scheme=scheme,
+    )
+
+
+def check_levelpred_conservation(
+    *,
+    ctx: CheckContext,
+    l1_misses: int,
+    skips: int,
+    correct_singles: int,
+    mispredicts: int,
+    unconfident: int,
+    walks: int,
+    walk_reach_l2: int,
+) -> None:
+    """Recovery-walk conservation for the level-prediction scheme.
+
+    Every L1 miss takes exactly one of four paths — presence skip,
+    correct single probe, mispredict (single + recovery walk), or
+    unconfident full walk — and every walk starts at L2.  Violations
+    mean the evaluator's masks drifted from the access flow.
+    """
+    telemetry.count("invariants.result_checks")
+    problems = []
+    total = skips + correct_singles + mispredicts + unconfident
+    if total != l1_misses:
+        problems.append(
+            f"paths do not partition the misses: {skips} skips + "
+            f"{correct_singles} correct singles + {mispredicts} mispredicts "
+            f"+ {unconfident} unconfident = {total} != {l1_misses} L1 misses"
+        )
+    if walks != mispredicts + unconfident:
+        problems.append(
+            f"{walks} walks != {mispredicts} mispredicts + "
+            f"{unconfident} unconfident"
+        )
+    if walk_reach_l2 != walks:
+        problems.append(
+            f"{walk_reach_l2} walk probes at L2 != {walks} walks "
+            "(every recovery/full walk starts at L2)"
+        )
+    if problems:
+        ctx.fail("levelpred-conservation", "; ".join(problems))
+
+
+def check_ehc_counters(predictor, ctx: CheckContext) -> None:
+    """Bounds and consistency of the expected-hit-count state.
+
+    Saturating counters must stay within ``[0, EHC_MAX]`` and the tag
+    mirror (the LLC stand-in the sweep reads) must never go negative.
+    ``predictor`` is the live :class:`~repro.predictors.ehc.EHCController`.
+    """
+    from repro.predictors.ehc import EHC_MAX
+
+    telemetry.count("invariants.result_checks")
+    problems = []
+    for name in ("expected", "cur"):
+        arr = getattr(predictor, name)
+        lo, hi = int(arr.min()), int(arr.max())
+        if lo < 0 or hi > EHC_MAX:
+            problems.append(
+                f"{name} counters out of [0, {EHC_MAX}]: min {lo}, max {hi}"
+            )
+    mirror = predictor.mirror.counts
+    if len(mirror) and int(mirror.min()) < 0:
+        problems.append(f"tag mirror went negative (min {int(mirror.min())})")
+    if problems:
+        ctx.fail("ehc-counters", "; ".join(problems))
+
+
 # -------------------------------------------------------------- accounting
 def check_result(result, ctx: CheckContext) -> None:
     """End-of-run conservation checks on a :class:`SchemeResult`."""
@@ -471,12 +554,23 @@ class ReplayReport:
         )
 
 
-_REPLAYABLE_SCHEMES = ("ReDHiP", "ReDHiP-NoOv", "Base", "Oracle", "Phased", "CBF")
+_REPLAYABLE_SCHEMES = (
+    "ReDHiP", "ReDHiP-NoOv", "Base", "Oracle", "Phased", "CBF",
+    "LevelPred", "EHC", "Oracle-LevelPred",
+)
 
 
 def _scheme_for_replay(name: str, cfg: "SimConfig"):
     from repro.core.redhip import redhip_scheme
-    from repro.predictors import base_scheme, cbf_scheme, oracle_scheme, phased_scheme
+    from repro.predictors import (
+        base_scheme,
+        cbf_scheme,
+        ehc_scheme,
+        levelpred_scheme,
+        oracle_levelpred_scheme,
+        oracle_scheme,
+        phased_scheme,
+    )
 
     if name in ("ReDHiP", "ReDHiP-NoOv"):
         return redhip_scheme(recal_period=cfg.recal_period, name=name)
@@ -488,6 +582,12 @@ def _scheme_for_replay(name: str, cfg: "SimConfig"):
         return phased_scheme()
     if name == "CBF":
         return cbf_scheme()
+    if name == "LevelPred":
+        return levelpred_scheme(recal_period=cfg.recal_period)
+    if name == "EHC":
+        return ehc_scheme(recal_period=cfg.recal_period)
+    if name == "Oracle-LevelPred":
+        return oracle_levelpred_scheme()
     raise ReproError(
         f"replay supports content bundles and the {_REPLAYABLE_SCHEMES} "
         f"schemes, not {name!r}"

@@ -31,6 +31,7 @@ from repro.experiments import (
     fig14_15_prefetch,
     intro_energy_split,
     table1_params,
+    zoo,
 )
 from repro.experiments.driver import ExperimentSpec, run_spec
 from repro.sim.report import ExperimentResult
@@ -57,6 +58,7 @@ SPECS: Dict[str, ExperimentSpec] = {
         fig13_inclusion.SPEC,
         fig14_15_prefetch.SPEC,
         *extensions.SPECS,
+        *zoo.SPECS,
         *ablations.SPECS,
     )
 }

@@ -12,6 +12,12 @@ from repro.predictors.base import (
 )
 from repro.predictors.bloom import BloomFilter, CountingBloomFilter
 from repro.predictors.cbf_scheme import CBFPredictor, cbf_scheme
+from repro.predictors.ehc import EHCController, ehc_scheme
+from repro.predictors.levelpred import (
+    LevelPredController,
+    levelpred_scheme,
+    oracle_levelpred_scheme,
+)
 from repro.predictors.missmap import MissMapPredictor, missmap_scheme
 from repro.predictors.hashes import (
     bits_hash,
@@ -25,15 +31,20 @@ __all__ = [
     "BloomFilter",
     "CBFPredictor",
     "CountingBloomFilter",
+    "EHCController",
+    "LevelPredController",
     "PresencePredictor",
     "SchemeSpec",
     "base_scheme",
     "bits_hash",
     "bits_hash_array",
     "cbf_scheme",
+    "ehc_scheme",
+    "levelpred_scheme",
     "make_hash",
     "missmap_scheme",
     "MissMapPredictor",
+    "oracle_levelpred_scheme",
     "oracle_scheme",
     "phased_scheme",
     "waypred_scheme",

@@ -89,6 +89,13 @@ class PresencePredictor(ABC):
         return {}
 
 
+#: Kinds that build run-local predictor state and consult a hardware
+#: table on every L1 miss.  ``levelpred``/``ehc`` (the predictor zoo)
+#: have dedicated evaluation paths and do not use the binary
+#: skip-on-predicted-miss flow of ``predictor``.
+_PREDICTOR_KINDS = ("predictor", "levelpred", "ehc")
+
+
 @dataclass(frozen=True)
 class SchemeSpec:
     """Declarative description of one scheme.
@@ -102,6 +109,7 @@ class SchemeSpec:
 
     name: str
     kind: str  # "base" | "phased" | "predictor" | "oracle" | "waypred"
+    #        | "levelpred" | "ehc" | "oracle_level"  (the predictor zoo)
     phased_levels: tuple[int, ...] = ()
     way_predicted_levels: tuple[int, ...] = ()
     make_predictor: Optional[Callable[[MachineConfig], PresencePredictor]] = None
@@ -111,12 +119,15 @@ class SchemeSpec:
     extra: dict = field(default_factory=dict, compare=False)
 
     def __post_init__(self) -> None:
-        if self.kind not in ("base", "phased", "predictor", "oracle", "waypred"):
+        if self.kind not in (
+            "base", "phased", "predictor", "oracle", "waypred",
+            "levelpred", "ehc", "oracle_level",
+        ):
             raise ConfigError(f"unknown scheme kind {self.kind!r}")
-        if self.kind == "predictor" and self.make_predictor is None:
-            raise ConfigError(f"scheme {self.name!r}: predictor kind needs make_predictor")
-        if self.kind != "predictor" and self.make_predictor is not None:
-            raise ConfigError(f"scheme {self.name!r}: only predictor kind takes make_predictor")
+        if self.kind in _PREDICTOR_KINDS and self.make_predictor is None:
+            raise ConfigError(f"scheme {self.name!r}: {self.kind} kind needs make_predictor")
+        if self.kind not in _PREDICTOR_KINDS and self.make_predictor is not None:
+            raise ConfigError(f"scheme {self.name!r}: only predictor kinds take make_predictor")
         if self.kind == "phased" and not self.phased_levels:
             raise ConfigError("phased scheme needs at least one phased level")
         if self.kind == "waypred" and not self.way_predicted_levels:
@@ -125,7 +136,7 @@ class SchemeSpec:
     @property
     def consults_table(self) -> bool:
         """Does an L1 miss pay a table lookup (energy + wire delay)?"""
-        return self.kind == "predictor"
+        return self.kind in _PREDICTOR_KINDS
 
     @property
     def skips_on_predicted_miss(self) -> bool:

@@ -1,0 +1,178 @@
+"""Expected-hit-count reuse prediction (Vakil Ghahani et al.,
+arXiv:1808.05024) driving an LLC early data-array skip.
+
+The EHC insight: the number of hits a block received during its previous
+LLC residency predicts the hits of its next residency.  The controller
+keeps two small saturating counters per (bits-hashed) entry:
+
+* ``cur`` — hits observed during the *current* residency (incremented on
+  every LLC hit, reset when the entry's block is re-filled);
+* ``expected`` — the hit count captured at the last eviction, i.e. what
+  the next residency is expected to deliver.
+
+``expected == 0`` predicts a *dead* block: the LLC probe for it is
+issued in phased (tag-then-data) mode, firing the big data array only on
+an actual hit.  This is an energy/latency trade with **no correctness
+hazard** — the walk itself is unchanged, so a wrong prediction costs the
+phased hit penalty, never a stale answer.  That keeps the scheme on the
+shared content trajectory, which is what lets it run through the
+two-phase evaluator at all.
+
+Staleness is the point of the comparison: like ReDHiP's presence bitmap,
+``expected`` decays in accuracy as the LLC churns, so the controller
+recalibrates on the same ``recal_period`` axis — a sweep re-reads the
+tag array (via the :class:`~repro.core.recalibration.TagMirror`) and
+resets ``expected`` to 0 for non-resident entries / at least 1 for
+resident ones, at the same modeled sweep cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.recalibration import RecalibrationCost, RecalibrationEngine, TagMirror
+from repro.core.redhip import PAPER_RECAL_PERIOD
+from repro.energy.params import MachineConfig
+from repro.predictors.base import SchemeSpec
+from repro.util.validation import check_pow2
+
+__all__ = ["EHCController", "ehc_scheme", "EHC_MAX"]
+
+#: Saturating ceiling of the 4-bit hit counters.
+EHC_MAX = 15
+
+#: Bits per entry: two 4-bit counters (``expected`` + ``cur``).
+_ENTRY_BITS = 8
+
+
+class EHCController:
+    """Run-local expected-hit-count state.
+
+    Deliberately does *not* expose ``table``/``_index`` attributes: the
+    checked-mode :class:`~repro.checking.CheckedPredictor` wrapper
+    enforces presence-bitmap monotonicity, which does not hold for hit
+    counters — EHC gets its own counter-bounds invariant instead
+    (:func:`repro.checking.check_ehc_counters`).
+    """
+
+    name = "EHC"
+    last_consulted = True
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        budget_bytes: int | None = None,
+        recal_period: int | None = PAPER_RECAL_PERIOD,
+    ) -> None:
+        budget = (
+            budget_bytes if budget_bytes is not None
+            else machine.prediction_table.size
+        )
+        check_pow2("budget_bytes", budget)
+        entries = budget * 8 // _ENTRY_BITS
+        entries = 1 << (entries.bit_length() - 1)
+        self.num_entries = entries
+        self._mask = entries - 1
+        self.expected = np.zeros(entries, dtype=np.uint8)
+        self.cur = np.zeros(entries, dtype=np.uint8)
+        self.mirror = TagMirror(entries, index_mask=self._mask)
+        cost = RecalibrationCost.for_machine(machine, hash_kind="bits")
+        self.engine = RecalibrationEngine(period=recal_period, cost=cost)
+        # Telemetry.
+        self.lookups = 0
+        self.predicted_dead = 0
+        self.llc_hits_observed = 0
+        #: Counter read-modify-writes: one per LLC fill and eviction.
+        self.table_updates = 0
+
+    def _idx(self, block: int) -> int:
+        return block & self._mask
+
+    # --------------------------------------------------------- prediction
+    def predict_dead(self, block: int) -> bool:
+        """Answer an L1 miss: is the block expected to yield no LLC hits?"""
+        self.lookups += 1
+        dead = self.expected[self._idx(block)] == 0
+        if dead:
+            self.predicted_dead += 1
+        return bool(dead)
+
+    def observe_hit(self, block: int) -> None:
+        """The walk hit at the LLC: credit the entry's current residency."""
+        idx = self._idx(block)
+        self.llc_hits_observed += 1
+        if self.cur[idx] < EHC_MAX:
+            self.cur[idx] += 1
+
+    # -------------------------------------------------------------- events
+    def on_llc_fill(self, block: int) -> None:
+        idx = self._idx(block)
+        self.mirror.fill(block)
+        self.cur[idx] = 0
+        self.table_updates += 1
+        self.engine.note_fill()
+
+    def on_llc_evict(self, block: int) -> None:
+        idx = self._idx(block)
+        self.mirror.evict(block)
+        self.expected[idx] = self.cur[idx]
+        self.cur[idx] = 0
+        self.table_updates += 1
+
+    def note_l1_miss(self) -> int:
+        """Periodic recalibration against the LLC tag array.
+
+        The generic :meth:`RecalibrationEngine.sweep` rebuilds a presence
+        *bitmap*; EHC applies its own sweep semantics — non-resident
+        entries are certainly dead (``expected = 0``), resident entries
+        are known alive so a dead prediction would be stale
+        (``expected = max(expected, 1)``) — at the same modeled cost.
+        """
+        if self.engine.note_l1_miss():
+            resident = self.mirror.counts > 0
+            self.expected[~resident] = 0
+            self.expected[resident & (self.expected == 0)] = 1
+            self.engine.sweeps += 1
+            return self.engine.cost.cycles
+        return 0
+
+    def maintenance_energy_nj(self) -> float:
+        return self.engine.total_energy_nj
+
+    # ------------------------------------------------------------ telemetry
+    def stats(self) -> dict[str, float]:
+        return {
+            "lookups": float(self.lookups),
+            "predicted_dead": float(self.predicted_dead),
+            "llc_hits_observed": float(self.llc_hits_observed),
+            "entries": float(self.num_entries),
+            "expected_nonzero": float(int((self.expected > 0).sum())),
+            "recal_sweeps": float(self.engine.sweeps),
+            "recal_energy_nj": self.engine.total_energy_nj,
+        }
+
+
+def ehc_scheme(
+    budget_bytes: int | None = None,
+    recal_period: int | None = PAPER_RECAL_PERIOD,
+    name: str = "EHC",
+    lookup_delay: int | None = None,
+    lookup_energy_nj: float | None = None,
+) -> SchemeSpec:
+    """Build the EHC scheme spec (equal area budget to ReDHiP's table)."""
+
+    def factory(machine: MachineConfig) -> EHCController:
+        return EHCController(
+            machine, budget_bytes=budget_bytes, recal_period=recal_period
+        )
+
+    return SchemeSpec(
+        name=name,
+        kind="ehc",
+        make_predictor=factory,
+        lookup_delay=lookup_delay,
+        lookup_energy_nj=lookup_energy_nj,
+        notes="Expected-hit-count counters (4-bit, bits-hash): predicted-"
+        "dead blocks probe the LLC in phased mode; periodic recalibration "
+        "on ReDHiP's axis.",
+    )

@@ -1,0 +1,265 @@
+"""Cache level prediction (Jalili & Erez, arXiv:2103.14808) on the costed
+simulator.
+
+ReDHiP answers a *binary* question after every L1 miss — "is the block in
+the LLC at all?" — and only saves energy on predicted misses.  Level
+prediction generalizes it: predict the exact level the block will hit and
+probe *only that level*, turning every confidently-predicted hit into a
+single probe instead of a serial walk.  A mispredict falls back to the
+full serial walk from L2 (the conservative hardware recovery), so
+correctness never depends on the level table.
+
+The controller composes two structures:
+
+* **presence half** — ReDHiP's exact machinery, verbatim: the bits-hash
+  :class:`~repro.core.prediction_table.PredictionTable` at the machine's
+  PT budget, the :class:`~repro.core.recalibration.TagMirror`, and the
+  periodic :class:`~repro.core.recalibration.RecalibrationEngine` on the
+  same ``recal_period`` axis.  A clear presence bit is a *guaranteed*
+  miss (inclusive hierarchy), so the access skips straight to memory —
+  identical skips, identical no-false-negative argument, identical
+  staleness behaviour to ReDHiP.
+* **level half** — a tagged table of (8-bit partial tag, predicted level,
+  2-bit saturating confidence) entries indexed by ``(pc >> 2) ^ block``.
+  A tag match at confidence >= 2 yields a confident single-level
+  prediction; anything else falls back to the full walk.
+
+Because the presence half equals ReDHiP's bit-for-bit, the scheme's
+skips match ReDHiP at the same table budget and recalibration period;
+confident correct predictions then strictly shorten the walk — the
+dominance property the zoo test suite pins down.
+"""
+
+from __future__ import annotations
+
+from repro.core.prediction_table import PredictionTable
+from repro.core.recalibration import RecalibrationCost, RecalibrationEngine, TagMirror
+from repro.core.redhip import PAPER_RECAL_PERIOD
+from repro.energy.params import MachineConfig
+from repro.predictors.base import SchemeSpec
+from repro.util.bitops import mask
+from repro.util.validation import ConfigError
+
+import numpy as np
+
+__all__ = [
+    "LevelPredController",
+    "levelpred_scheme",
+    "oracle_levelpred_scheme",
+    "CONF_MAX",
+    "CONF_CONFIDENT",
+]
+
+#: Saturating-confidence ceiling (2-bit counters) and the prediction
+#: threshold: an entry predicts only at confidence >= 2.
+CONF_MAX = 3
+CONF_CONFIDENT = 2
+
+#: Budget per level-table entry: 8-bit tag + level + 2-bit confidence,
+#: rounded to 16 bits so the level table consumes the same SRAM as one
+#: sixteenth of the presence bitmap's bit count.
+_ENTRY_BITS = 16
+
+_TAG_MASK = 0xFF
+
+
+class LevelPredController:
+    """Run-local level-prediction state: presence bitmap + tagged level table.
+
+    The presence attributes (``table``, ``mirror``, ``engine``,
+    ``_index``) intentionally mirror
+    :class:`~repro.core.redhip.ReDHiPController` so checked mode wraps
+    this controller with the same PT-monotonicity and
+    recalibration-exactness oracles.
+    """
+
+    name = "LevelPred"
+    last_consulted = True
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        table_bytes: int | None = None,
+        recal_period: int | None = PAPER_RECAL_PERIOD,
+    ) -> None:
+        size = table_bytes if table_bytes is not None else machine.prediction_table.size
+        llc = machine.llc
+        # ---- presence half: ReDHiP's machinery, bits-hash ---------------
+        self.table = PredictionTable(size_bytes=size, llc_set_bits=llc.set_index_bits)
+        self.hash_kind = "bits"
+        self.mirror = TagMirror(self.table.num_bits, index_mask=mask(self.table.p))
+        cost = RecalibrationCost.for_machine(machine, hash_kind="bits")
+        self.engine = RecalibrationEngine(period=recal_period, cost=cost)
+        # ---- level half: tagged (tag, level, confidence) entries --------
+        entries = max(2, self.table.num_bits // _ENTRY_BITS)
+        entries = 1 << (entries.bit_length() - 1)
+        self._level_bits = entries.bit_length() - 1
+        self._level_mask = entries - 1
+        self.tags = np.zeros(entries, dtype=np.uint8)
+        self.levels = np.zeros(entries, dtype=np.uint8)
+        self.conf = np.zeros(entries, dtype=np.uint8)
+        # Telemetry.
+        self.lookups = 0
+        self.predicted_miss = 0
+        self.confident_singles = 0
+        self.correct_singles = 0
+        self.mispredicts = 0
+        #: Presence-bit writes (one per LLC fill) plus level-table
+        #: modifying trains — each is one table access for maintenance
+        #: energy purposes.
+        self.table_updates = 0
+        self._last: tuple[int, bool] = (0, False)
+
+    # ----------------------------------------------------------- indexing
+    def _index(self, block: int) -> int:
+        """Presence-bitmap index (bits-hash, same as ReDHiP)."""
+        return block & ((1 << self.table.p) - 1)
+
+    def _level_slot(self, pc: int, block: int) -> tuple[int, int]:
+        full = (pc >> 2) ^ block
+        return full & self._level_mask, (full >> self._level_bits) & _TAG_MASK
+
+    # --------------------------------------------------------- prediction
+    def predict(self, pc: int, block: int) -> tuple[int, bool]:
+        """Answer an L1 miss: ``(predicted_level, confident)``.
+
+        ``(0, True)`` — the presence bit is clear: guaranteed miss, skip
+        every level (the ReDHiP move).  ``(L, True)`` with ``L >= 2`` — a
+        confident level prediction: probe only level ``L``.  ``(0,
+        False)`` — no confident prediction: full serial walk.
+        """
+        self.lookups += 1
+        if not bool(self.table._bits[self._index(block)]):
+            self.predicted_miss += 1
+            self._last = (0, True)
+            return 0, True
+        idx, tag = self._level_slot(pc, block)
+        if self.tags[idx] == tag and self.conf[idx] >= CONF_CONFIDENT:
+            level = int(self.levels[idx])
+            self.confident_singles += 1
+            self._last = (level, True)
+            return level, True
+        self._last = (0, False)
+        return 0, False
+
+    def train(self, pc: int, block: int, hit_level: int) -> None:
+        """Observe the true outcome of the miss just predicted.
+
+        ``hit_level`` is 0 for a memory-served access, else the level
+        (>= 2) the block hit.  Saturating-confidence policy: reinforce on
+        agreement, decay on disagreement, replace at confidence 0 or on a
+        tag mismatch.
+        """
+        level, confident = self._last
+        if confident and level >= 2:
+            if hit_level == level:
+                self.correct_singles += 1
+            else:
+                self.mispredicts += 1
+        idx, tag = self._level_slot(pc, block)
+        if hit_level >= 2:
+            if self.tags[idx] == tag:
+                if self.levels[idx] == hit_level:
+                    if self.conf[idx] < CONF_MAX:
+                        self.conf[idx] += 1
+                        self.table_updates += 1
+                else:
+                    if self.conf[idx] > 0:
+                        self.conf[idx] -= 1
+                    if self.conf[idx] == 0:
+                        self.levels[idx] = hit_level
+                        self.conf[idx] = 1
+                    self.table_updates += 1
+            else:
+                self.tags[idx] = tag
+                self.levels[idx] = hit_level
+                self.conf[idx] = 1
+                self.table_updates += 1
+        elif self.tags[idx] == tag and self.conf[idx] > 0:
+            self.conf[idx] -= 1
+            self.table_updates += 1
+
+    # -------------------------------------------------------------- events
+    def on_llc_fill(self, block: int) -> None:
+        idx = self._index(block)
+        self.table._bits[idx] = True
+        self.mirror._counts[idx] += 1
+        self.table_updates += 1
+        self.engine.note_fill()
+
+    def on_llc_evict(self, block: int) -> None:
+        idx = self._index(block)
+        if self.mirror._counts[idx] == 0:
+            raise ConfigError("LLC evicted a block the controller never saw filled")
+        self.mirror._counts[idx] -= 1
+
+    def note_l1_miss(self) -> int:
+        if self.engine.note_l1_miss():
+            self.engine.sweep(self.table, self.mirror)
+            return self.engine.cost.cycles
+        return 0
+
+    def maintenance_energy_nj(self) -> float:
+        return self.engine.total_energy_nj
+
+    # ------------------------------------------------------------ telemetry
+    def stats(self) -> dict[str, float]:
+        return {
+            "lookups": float(self.lookups),
+            "predicted_miss": float(self.predicted_miss),
+            "confident_singles": float(self.confident_singles),
+            "correct_singles": float(self.correct_singles),
+            "mispredicts": float(self.mispredicts),
+            "level_entries": float(self._level_mask + 1),
+            "table_bits": float(self.table.num_bits),
+            "table_occupancy": self.table.occupancy,
+            "recal_sweeps": float(self.engine.sweeps),
+            "recal_energy_nj": self.engine.total_energy_nj,
+        }
+
+
+def levelpred_scheme(
+    table_bytes: int | None = None,
+    recal_period: int | None = PAPER_RECAL_PERIOD,
+    name: str = "LevelPred",
+    lookup_delay: int | None = None,
+    lookup_energy_nj: float | None = None,
+) -> SchemeSpec:
+    """Build the level-prediction scheme spec.
+
+    The presence bitmap gets the full machine PT budget (the equal-area
+    comparison with ReDHiP); the level table rides in the same SRAM
+    macro, so both halves are read in one modeled PT access per miss.
+    """
+
+    def factory(machine: MachineConfig) -> LevelPredController:
+        return LevelPredController(
+            machine, table_bytes=table_bytes, recal_period=recal_period
+        )
+
+    return SchemeSpec(
+        name=name,
+        kind="levelpred",
+        make_predictor=factory,
+        lookup_delay=lookup_delay,
+        lookup_energy_nj=lookup_energy_nj,
+        notes="Tagged hit-level prediction (PC^block indexed, 2-bit "
+        "confidence) over ReDHiP's presence bitmap; mispredicts recover "
+        "with the full serial walk.",
+    )
+
+
+def oracle_levelpred_scheme(name: str = "Oracle-LevelPred") -> SchemeSpec:
+    """Perfect zero-overhead level prediction (upper bound).
+
+    Every hit probes exactly its hit level; every true miss skips
+    straight to memory.  Per-access latency is therefore a lower bound on
+    every walk-based scheme — in particular it dominates the ReDHiP
+    Oracle, which still walks serially down to the hit level.
+    """
+    return SchemeSpec(
+        name=name,
+        kind="oracle_level",
+        notes="Always-correct hit-level prediction with no overhead; "
+        "dominates the presence Oracle on latency by construction.",
+    )

@@ -237,9 +237,16 @@ class ChargingKernel:
         return float(self.par_d[1])
 
     def charge_probe(self, ledger: EnergyLedger, level: int, hit: bool,
-                     rank: int = -1) -> float:
-        """Charge one demand probe at ``level``; returns its latency."""
-        mode = self.modes[level]
+                     rank: int = -1, mode: str | None = None) -> float:
+        """Charge one demand probe at ``level``; returns its latency.
+
+        ``mode`` overrides the plan's probe mode for this one probe —
+        how EHC's predicted-dead LLC probes degrade to phased while the
+        rest of the walk keeps the plan's discipline.  ``None`` (the
+        default, and every pre-existing call site) charges the plan mode.
+        """
+        if mode is None:
+            mode = self.modes[level]
         if mode == PROBE_PHASED:
             ledger.charge(self.names[level], CAT_TAG, self.tag_e[level], 1)
             if hit:
@@ -328,11 +335,14 @@ class ChargingKernel:
         n_reach: int,
         n_hits: int,
         hit_rank: np.ndarray | None = None,
+        mode: str | None = None,
     ) -> None:
         """Bulk form of :meth:`charge_probe` for every access reaching
         ``level``.  ``hit_rank`` (per-access MRU rank) is only read for
-        way-predicted levels."""
-        mode = self.modes[level]
+        way-predicted levels; ``mode`` overrides the plan's probe mode
+        for this charge (see :meth:`charge_probe`)."""
+        if mode is None:
+            mode = self.modes[level]
         name = self.names[level]
         if mode == PROBE_PHASED:
             lat[hits] += self.tag_d[level] + self.dat_d[level]

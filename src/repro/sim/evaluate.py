@@ -27,11 +27,17 @@ from repro.energy.timing import TimingResult
 from repro.hierarchy.events import EVENT_FILL, OutcomeStream
 from repro.predictors.base import PresencePredictor, SchemeSpec
 from repro.sim import vector_replay
-from repro.sim.charging import ChargingKernel
+from repro.sim.charging import PROBE_PHASED, ChargingKernel
 from repro.util.validation import ReproError
 from repro.workloads.trace import Workload
 
-__all__ = ["SchemeResult", "evaluate_scheme", "replay_predictor"]
+__all__ = [
+    "SchemeResult",
+    "evaluate_scheme",
+    "replay_predictor",
+    "replay_level_predictor",
+    "replay_ehc",
+]
 
 
 @dataclass
@@ -145,6 +151,145 @@ def replay_predictor(
     return predicted, consulted, stall
 
 
+def _per_access_pcs(stream: OutcomeStream, workload: Workload) -> np.ndarray:
+    """Per-access program counters in the merged multi-core order.
+
+    The outcome stream deliberately carries no PCs (the content walk is
+    PC-blind); the level predictor's PC^block index reconstructs them
+    from the workload traces through the same memoized merge order both
+    simulation paths share.
+    """
+    from repro.sim.content import merge_order
+
+    merged_core, merged_idx = merge_order(workload)
+    n = stream.num_accesses
+    merged_core = merged_core[:n]
+    merged_idx = merged_idx[:n]
+    pcs = np.empty(n, dtype=np.uint64)
+    for core, trace in enumerate(workload.traces):
+        sel = merged_core == core
+        pcs[sel] = trace.pc[merged_idx[sel]]
+    return pcs
+
+
+def replay_level_predictor(
+    stream: OutcomeStream, predictor, pcs: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Sequentially replay level-prediction lookups over the event stream.
+
+    Returns per-access predicted levels (0 = memory/no prediction),
+    per-access confidence flags, and the total recalibration stall
+    cycles.  Event interleaving matches :func:`replay_predictor`: events
+    caused by earlier accesses land before access *i*'s lookup, access
+    *i*'s own events land before the next miss's lookup, and the train
+    step observes the true outcome between the lookup and the time
+    advance — the same order the integrated loop performs.
+    """
+    h = stream.hit_level
+    n = len(h)
+    pred_level = np.zeros(n, dtype=np.int64)
+    confident = np.zeros(n, dtype=bool)
+    miss_mask = h != 1
+    miss_idx = np.nonzero(miss_mask)[0].tolist()
+    miss_blocks = stream.block[miss_mask].tolist()
+    miss_pcs = pcs[miss_mask].tolist()
+    miss_h = h[miss_mask].tolist()
+
+    when = stream.llc_when.tolist()
+    ops = stream.llc_op.tolist()
+    eblocks = stream.llc_block.tolist()
+    m = len(when)
+
+    predict = predictor.predict
+    train = predictor.train
+    fill = predictor.on_llc_fill
+    evict = predictor.on_llc_evict
+    note = predictor.note_l1_miss
+
+    stall = 0.0
+    ei = 0
+    levels_out = []
+    conf_out = []
+    for pos, i in enumerate(miss_idx):
+        while ei < m and when[ei] < i:
+            if ops[ei] == EVENT_FILL:
+                fill(eblocks[ei])
+            else:
+                evict(eblocks[ei])
+            ei += 1
+        level, conf = predict(miss_pcs[pos], miss_blocks[pos])
+        levels_out.append(level)
+        conf_out.append(conf)
+        train(miss_pcs[pos], miss_blocks[pos], miss_h[pos])
+        stall += note()
+    while ei < m:  # drain so predictor telemetry covers the full run
+        if ops[ei] == EVENT_FILL:
+            fill(eblocks[ei])
+        else:
+            evict(eblocks[ei])
+        ei += 1
+    if levels_out:
+        pred_level[miss_mask] = np.asarray(levels_out, dtype=np.int64)
+        confident[miss_mask] = np.asarray(conf_out, dtype=bool)
+    return pred_level, confident, stall
+
+
+def replay_ehc(
+    stream: OutcomeStream, predictor
+) -> tuple[np.ndarray, float]:
+    """Sequentially replay expected-hit-count lookups over the events.
+
+    Returns the per-access predicted-dead flags (meaningful at L1
+    misses) and the total recalibration stall cycles.  Per miss the
+    order is: prior events, dead-block lookup, LLC-hit observation (when
+    the walk will hit at the LLC), time advance — then the miss's own
+    events before the next lookup, exactly as the integrated loop does.
+    """
+    h = stream.hit_level
+    n = len(h)
+    num_levels = stream.num_levels
+    dead = np.zeros(n, dtype=bool)
+    miss_mask = h != 1
+    miss_idx = np.nonzero(miss_mask)[0].tolist()
+    miss_blocks = stream.block[miss_mask].tolist()
+    miss_h = h[miss_mask].tolist()
+
+    when = stream.llc_when.tolist()
+    ops = stream.llc_op.tolist()
+    eblocks = stream.llc_block.tolist()
+    m = len(when)
+
+    predict = predictor.predict_dead
+    observe = predictor.observe_hit
+    fill = predictor.on_llc_fill
+    evict = predictor.on_llc_evict
+    note = predictor.note_l1_miss
+
+    stall = 0.0
+    ei = 0
+    out = []
+    for pos, i in enumerate(miss_idx):
+        while ei < m and when[ei] < i:
+            if ops[ei] == EVENT_FILL:
+                fill(eblocks[ei])
+            else:
+                evict(eblocks[ei])
+            ei += 1
+        out.append(predict(miss_blocks[pos]))
+        if miss_h[pos] == num_levels:
+            observe(miss_blocks[pos])
+        stall += note()
+    while ei < m:
+        if ops[ei] == EVENT_FILL:
+            fill(eblocks[ei])
+        else:
+            evict(eblocks[ei])
+        ei += 1
+    if out:
+        dead[miss_mask] = np.asarray(out, dtype=bool)
+    return dead, stall
+
+
 def _assert_replay_equivalent(
     stream: OutcomeStream,
     scheme: SchemeSpec,
@@ -215,6 +360,27 @@ def evaluate_scheme(
     *both* paths and raises if they diverge in any observable — the
     equivalence oracle for the vectorized kernel.
     """
+    # The zoo schemes walk (or skip) levels in patterns the binary
+    # predicted-present flow below cannot express; they get dedicated
+    # accounting paths that consume the same kernel and the same frozen
+    # stream, so the existing flow stays byte-for-byte untouched.
+    if scheme.kind in ("levelpred", "oracle_level"):
+        return _evaluate_levelpred(
+            stream, machine, scheme, workload,
+            fill_energy_weight=fill_energy_weight,
+            memory_latency=memory_latency,
+            memory_energy_nj=memory_energy_nj,
+            mlp=mlp, dram=dram, checked=checked,
+        )
+    if scheme.kind == "ehc":
+        return _evaluate_ehc(
+            stream, machine, scheme, workload,
+            fill_energy_weight=fill_energy_weight,
+            memory_latency=memory_latency,
+            memory_energy_nj=memory_energy_nj,
+            mlp=mlp, dram=dram, checked=checked,
+        )
+
     kernel = ChargingKernel.for_scheme(machine, scheme)
     ledger = EnergyLedger()
     h = stream.hit_level
@@ -356,3 +522,310 @@ def evaluate_scheme(
             recal_stall_cycles=stall,
             predictor_stats=predictor_stats,
         )
+
+
+def _evaluate_levelpred(
+    stream: OutcomeStream,
+    machine: MachineConfig,
+    scheme: SchemeSpec,
+    workload: Workload,
+    *,
+    fill_energy_weight: float,
+    memory_latency: float,
+    memory_energy_nj: float,
+    mlp: float,
+    dram,
+    checked: "bool | None",
+) -> SchemeResult:
+    """Level prediction (``levelpred``) and its oracle (``oracle_level``).
+
+    Access flow per L1 miss: a confident presence miss skips every level
+    (ReDHiP's move); a confident level prediction pays exactly one probe
+    at the predicted level, plus — on a mispredict — the full serial
+    recovery walk from L2; no confident prediction walks serially.  The
+    oracle variant probes exactly the true hit level with no table.
+    """
+    kernel = ChargingKernel.for_scheme(machine, scheme)
+    ledger = EnergyLedger()
+    h = stream.hit_level
+    n = stream.num_accesses
+    num_levels = stream.num_levels
+    miss_mask = h != 1
+    l1_misses = int(miss_mask.sum())
+    true_misses = int((h == 0).sum())
+    if checked is None:
+        checked = checking.enabled(None)
+
+    predictor = None
+    stall = 0.0
+    if scheme.kind == "levelpred":
+        predictor = scheme.build_predictor(machine)
+        pcs = _per_access_pcs(stream, workload)
+        with telemetry.span(
+            "replay", scheme=scheme.name, workload=workload.name
+        ) as replay_span:
+            replay_span.tag(path="sequential")
+            telemetry.count("replay.sequential")
+            telemetry.count("replay.levelpred")
+            pred_level, confident, stall = replay_level_predictor(
+                stream, predictor, pcs
+            )
+        skip_mask = miss_mask & confident & (pred_level == 0)
+        fn = int((skip_mask & (h >= 2)).sum())
+        if fn:
+            raise ReproError(
+                f"scheme {scheme.name!r} produced {fn} false negatives — "
+                "it would serve stale data in hardware"
+            )
+        single_mask = miss_mask & confident & (pred_level >= 2)
+        unconfident_mask = miss_mask & ~confident
+        false_positives = int((miss_mask & ~skip_mask & (h == 0)).sum())
+    else:  # oracle_level: perfect level knowledge, no hardware
+        pred_level = h.astype(np.int64)
+        skip_mask = miss_mask & (h == 0)
+        single_mask = miss_mask & (h >= 2)
+        unconfident_mask = np.zeros(n, dtype=bool)
+        false_positives = 0
+
+    mispredict_mask = single_mask & (h != pred_level)
+    correct_mask = single_mask & ~mispredict_mask
+    walk_mask = unconfident_mask | mispredict_mask
+    skips = int(skip_mask.sum())
+
+    with telemetry.span("energy_accounting", scheme=scheme.name,
+                        workload=workload.name):
+        lat = kernel.charge_l1_bulk(ledger, n)
+        if scheme.consults_table:
+            kernel.charge_lookup_bulk(ledger, lat, miss_mask)
+
+        # Two charge passes per level: the serial-walk probes (unconfident
+        # walks + mispredict recovery walks) and the single predicted-level
+        # probes.  A mispredicting access can legitimately probe the same
+        # level twice — once as its confident single, once again inside
+        # its recovery walk — which is why the passes stay separate.
+        level_tallies: dict[int, tuple[int, int]] = {}
+        for level in range(2, num_levels + 1):
+            walk_reach = walk_mask & ((h == 0) | (h >= level))
+            walk_hits = walk_reach & (h == level)
+            walk_misses = walk_reach & (h != level)
+            singles_here = single_mask & (pred_level == level)
+            single_hits = singles_here & correct_mask
+            single_misses = singles_here & mispredict_mask
+            n_walk = int(walk_reach.sum())
+            n_walk_hits = int(walk_hits.sum())
+            n_singles = int(singles_here.sum())
+            n_single_hits = int(single_hits.sum())
+            kernel.charge_level_bulk(
+                ledger, lat, level, walk_hits, walk_misses, n_walk,
+                n_walk_hits, hit_rank=stream.hit_rank,
+            )
+            kernel.charge_level_bulk(
+                ledger, lat, level, single_hits, single_misses, n_singles,
+                n_single_hits, hit_rank=stream.hit_rank,
+            )
+            level_tallies[level] = (n_walk + n_singles,
+                                    n_walk_hits + n_single_hits)
+
+        kernel.charge_memory_bulk(
+            ledger, lat, h == 0, stream.block, true_misses,
+            memory_latency=memory_latency, memory_energy_nj=memory_energy_nj,
+            dram=dram,
+        )
+        kernel.charge_fills_bulk(ledger, h, true_misses, fill_energy_weight)
+        lat = kernel.mlp_adjust(lat, mlp)
+
+        predictor_stats: dict = {}
+        if predictor is not None:
+            kernel.charge_predictor_maintenance(
+                ledger, getattr(predictor, "table_updates", 0),
+                predictor.maintenance_energy_nj(),
+            )
+            predictor_stats = predictor.stats()
+
+        timing = kernel.run_timing(
+            core_ids=stream.core.astype(np.int64),
+            gaps=stream.gap,
+            latencies=lat,
+            cpis=workload.cpis,
+            stall_cycles=stall,
+        )
+        static_nj = kernel.static_energy_nj(
+            timing.exec_cycles, include_pt=scheme.consults_table
+        )
+
+        level_lookups = {1: n}
+        level_hits = {1: n - l1_misses}
+        for level, (n_reach, n_hits) in level_tallies.items():
+            level_lookups[level] = n_reach
+            level_hits[level] = n_hits
+        hit_rates = {
+            lvl: (level_hits[lvl] / level_lookups[lvl] if level_lookups[lvl] else 0.0)
+            for lvl in level_lookups
+        }
+
+    if checked and scheme.kind == "levelpred":
+        checking.check_levelpred_conservation(
+            ctx=checking.evaluation_context(machine.name, workload.name,
+                                            scheme.name),
+            l1_misses=l1_misses,
+            skips=skips,
+            correct_singles=int(correct_mask.sum()),
+            mispredicts=int(mispredict_mask.sum()),
+            unconfident=int(unconfident_mask.sum()),
+            walks=int(walk_mask.sum()),
+            walk_reach_l2=int((walk_mask & ((h == 0) | (h >= 2))).sum()),
+        )
+
+    return SchemeResult(
+        scheme=scheme.name,
+        workload=workload.name,
+        machine=machine.name,
+        timing=timing,
+        ledger=ledger,
+        static_nj=static_nj,
+        hit_rates=hit_rates,
+        level_lookups=level_lookups,
+        level_hits=level_hits,
+        l1_misses=l1_misses,
+        skips=skips,
+        false_positives=false_positives,
+        true_misses=true_misses,
+        recal_stall_cycles=stall,
+        predictor_stats=predictor_stats,
+    )
+
+
+def _evaluate_ehc(
+    stream: OutcomeStream,
+    machine: MachineConfig,
+    scheme: SchemeSpec,
+    workload: Workload,
+    *,
+    fill_energy_weight: float,
+    memory_latency: float,
+    memory_energy_nj: float,
+    mlp: float,
+    dram,
+    checked: "bool | None",
+) -> SchemeResult:
+    """Expected-hit-count evaluation: full walk, but LLC probes for
+    predicted-dead blocks degrade to phased (tag-then-data) mode.
+
+    No level is ever skipped, so ``skips``/``false_positives`` stay 0 and
+    there is no false-negative hazard — the prediction only chooses how
+    the LLC probe is issued.
+    """
+    kernel = ChargingKernel.for_scheme(machine, scheme)
+    ledger = EnergyLedger()
+    h = stream.hit_level
+    n = stream.num_accesses
+    num_levels = stream.num_levels
+    miss_mask = h != 1
+    l1_misses = int(miss_mask.sum())
+    true_misses = int((h == 0).sum())
+    if checked is None:
+        checked = checking.enabled(None)
+
+    predictor = scheme.build_predictor(machine)
+    with telemetry.span(
+        "replay", scheme=scheme.name, workload=workload.name
+    ) as replay_span:
+        replay_span.tag(path="sequential")
+        telemetry.count("replay.sequential")
+        telemetry.count("replay.ehc")
+        dead, stall = replay_ehc(stream, predictor)
+
+    with telemetry.span("energy_accounting", scheme=scheme.name,
+                        workload=workload.name):
+        lat = kernel.charge_l1_bulk(ledger, n)
+        kernel.charge_lookup_bulk(ledger, lat, miss_mask)
+
+        level_tallies: dict[int, tuple[int, int]] = {}
+        for level in range(2, num_levels + 1):
+            reach = (h == 0) | (h >= level)
+            hits = reach & (h == level)
+            misses = reach & (h != level)
+            n_reach = int(reach.sum())
+            n_hits = int(hits.sum())
+            level_tallies[level] = (n_reach, n_hits)
+            if level == num_levels:
+                # Predicted-dead blocks fire the LLC in phased mode; the
+                # rest keep the plan's discipline.  Two charge passes,
+                # disjoint masks.
+                live = reach & ~dead
+                gated = reach & dead
+                kernel.charge_level_bulk(
+                    ledger, lat, level, hits & ~dead, misses & ~dead,
+                    int(live.sum()), int((hits & ~dead).sum()),
+                    hit_rank=stream.hit_rank,
+                )
+                kernel.charge_level_bulk(
+                    ledger, lat, level, hits & dead, misses & dead,
+                    int(gated.sum()), int((hits & dead).sum()),
+                    hit_rank=stream.hit_rank, mode=PROBE_PHASED,
+                )
+            else:
+                kernel.charge_level_bulk(
+                    ledger, lat, level, hits, misses, n_reach, n_hits,
+                    hit_rank=stream.hit_rank,
+                )
+
+        kernel.charge_memory_bulk(
+            ledger, lat, h == 0, stream.block, true_misses,
+            memory_latency=memory_latency, memory_energy_nj=memory_energy_nj,
+            dram=dram,
+        )
+        kernel.charge_fills_bulk(ledger, h, true_misses, fill_energy_weight)
+        lat = kernel.mlp_adjust(lat, mlp)
+
+        kernel.charge_predictor_maintenance(
+            ledger, getattr(predictor, "table_updates", 0),
+            predictor.maintenance_energy_nj(),
+        )
+        predictor_stats = predictor.stats()
+
+        timing = kernel.run_timing(
+            core_ids=stream.core.astype(np.int64),
+            gaps=stream.gap,
+            latencies=lat,
+            cpis=workload.cpis,
+            stall_cycles=stall,
+        )
+        static_nj = kernel.static_energy_nj(
+            timing.exec_cycles, include_pt=scheme.consults_table
+        )
+
+        level_lookups = {1: n}
+        level_hits = {1: n - l1_misses}
+        for level, (n_reach, n_hits) in level_tallies.items():
+            level_lookups[level] = n_reach
+            level_hits[level] = n_hits
+        hit_rates = {
+            lvl: (level_hits[lvl] / level_lookups[lvl] if level_lookups[lvl] else 0.0)
+            for lvl in level_lookups
+        }
+
+    if checked:
+        checking.check_ehc_counters(
+            predictor,
+            checking.evaluation_context(machine.name, workload.name,
+                                        scheme.name),
+        )
+
+    return SchemeResult(
+        scheme=scheme.name,
+        workload=workload.name,
+        machine=machine.name,
+        timing=timing,
+        ledger=ledger,
+        static_nj=static_nj,
+        hit_rates=hit_rates,
+        level_lookups=level_lookups,
+        level_hits=level_hits,
+        l1_misses=l1_misses,
+        skips=0,
+        false_positives=0,
+        true_misses=true_misses,
+        recal_stall_cycles=stall,
+        predictor_stats=predictor_stats,
+    )

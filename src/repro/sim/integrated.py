@@ -35,7 +35,7 @@ from repro.hierarchy.hierarchy import CacheHierarchy
 from repro.hierarchy.inclusion import InclusionPolicy
 from repro.predictors.base import SchemeSpec
 from repro.prefetch.stride import StridePrefetcher
-from repro.sim.charging import ChargingKernel, resolve_dram_model
+from repro.sim.charging import PROBE_PHASED, ChargingKernel, resolve_dram_model
 from repro.sim.config import SimConfig
 from repro.sim.content import merge_order
 from repro.sim.evaluate import SchemeResult
@@ -91,7 +91,7 @@ class IntegratedSimulator:
             raise ConfigError("workload core count does not match machine")
         if prefetch is not None and cfg.policy is not InclusionPolicy.INCLUSIVE:
             raise ConfigError("prefetch experiments use the inclusive policy")
-        if scheme.kind == "predictor" and not cfg.policy.llc_is_superset:
+        if scheme.consults_table and not cfg.policy.llc_is_superset:
             raise ConfigError(
                 "single-table predictor schemes need an LLC-superset policy; "
                 "use run_exclusive_redhip for the exclusive hierarchy"
@@ -154,6 +154,9 @@ class IntegratedSimulator:
             predictor = checking.CheckedPredictor(predictor, hier, ctx, pending)
         oracle = scheme.kind == "oracle"
         skipper = scheme.skips_on_predicted_miss
+        levelpred = scheme.kind == "levelpred"
+        ehc = scheme.kind == "ehc"
+        oracle_level = scheme.kind == "oracle_level"
         dram_model = resolve_dram_model(cfg.dram)
 
         prefetchers = None
@@ -183,12 +186,13 @@ class IntegratedSimulator:
 
         kernel_probe = kernel.charge_probe  # bound once for the hot loop
 
-        def charge_probe(level: int, hit: bool, rank: int = -1) -> float:
+        def charge_probe(level: int, hit: bool, rank: int = -1,
+                         mode: "str | None" = None) -> float:
             """Tally one demand probe and charge it through the kernel."""
             level_lookups[level] += 1
             if hit:
                 level_hits[level] += 1
-            return kernel_probe(ledger, level, hit, rank)
+            return kernel_probe(ledger, level, hit, rank, mode)
 
         access = hier.access
         if checker is not None:
@@ -215,43 +219,123 @@ class IntegratedSimulator:
                 l1_misses += 1
                 if hl == 0:
                     true_misses += 1
-                if predictor is not None:
-                    predicted = predictor.predict_present(block)
-                    if predictor.last_consulted:
-                        lat += kernel.charge_lookup(ledger)
+                if levelpred:
+                    plevel, conf = predictor.predict(pcs[core][idx], block)
+                    lat += kernel.charge_lookup(ledger)
+                    if conf and plevel == 0:
+                        # Presence bit clear: guaranteed miss, skip all.
+                        if hl != 0:
+                            raise ReproError(
+                                f"false negative: block {block:#x} "
+                                f"resident at L{hl}"
+                            )
+                        skips += 1
+                    else:
+                        if conf:
+                            lat += charge_probe(plevel, hit=(plevel == hl),
+                                                rank=hier.last_hit_rank)
+                        if not (conf and plevel == hl):
+                            # Unconfident, or the single probe missed:
+                            # full serial recovery walk from L2.
+                            top = hl if hl >= 2 else num_levels
+                            for level in range(2, top + 1):
+                                lat += charge_probe(level, hit=(level == hl),
+                                                    rank=hier.last_hit_rank)
+                        if hl == 0:
+                            false_positives += 1
+                    if hl == 0:
+                        if dram_model is not None:
+                            lat += kernel.charge_dram(ledger, dram_model, block)
+                        else:
+                            lat += kernel.charge_memory(
+                                ledger, cfg.memory_latency, cfg.memory_energy_nj
+                            )
+                    predictor.train(pcs[core][idx], block, hl)
                     stall += predictor.note_l1_miss()
-                elif oracle:
-                    predicted = hl != 0
-                else:
-                    predicted = True
-                if not predicted and skipper:
-                    if hl != 0:
-                        raise ReproError(
-                            f"false negative: block {block:#x} resident at L{hl}"
-                        )
-                    skips += 1
-                else:
+                    if pending:
+                        for op, eb in pending:
+                            if op == _FILL:
+                                predictor.on_llc_fill(eb)
+                            else:
+                                predictor.on_llc_evict(eb)
+                    pending.clear()
+                elif ehc:
+                    dead = predictor.predict_dead(block)
+                    lat += kernel.charge_lookup(ledger)
                     top = hl if hl >= 2 else num_levels
                     for level in range(2, top + 1):
-                        lat += charge_probe(level, hit=(level == hl),
-                                            rank=hier.last_hit_rank)
-                    if skipper and hl == 0:
-                        false_positives += 1
-                if hl == 0:
-                    if dram_model is not None:
-                        lat += kernel.charge_dram(ledger, dram_model, block)
-                    else:
-                        lat += kernel.charge_memory(
-                            ledger, cfg.memory_latency, cfg.memory_energy_nj
+                        lat += charge_probe(
+                            level, hit=(level == hl), rank=hier.last_hit_rank,
+                            mode=PROBE_PHASED
+                            if (dead and level == num_levels) else None,
                         )
-                # Apply this access's LLC events after the lookup raced them.
-                if predictor is not None and pending:
-                    for op, eb in pending:
-                        if op == _FILL:
-                            predictor.on_llc_fill(eb)
+                    if hl == 0:
+                        if dram_model is not None:
+                            lat += kernel.charge_dram(ledger, dram_model, block)
                         else:
-                            predictor.on_llc_evict(eb)
-                pending.clear()
+                            lat += kernel.charge_memory(
+                                ledger, cfg.memory_latency, cfg.memory_energy_nj
+                            )
+                    if hl == num_levels:
+                        predictor.observe_hit(block)
+                    stall += predictor.note_l1_miss()
+                    if pending:
+                        for op, eb in pending:
+                            if op == _FILL:
+                                predictor.on_llc_fill(eb)
+                            else:
+                                predictor.on_llc_evict(eb)
+                    pending.clear()
+                elif oracle_level:
+                    if hl == 0:
+                        skips += 1
+                        if dram_model is not None:
+                            lat += kernel.charge_dram(ledger, dram_model, block)
+                        else:
+                            lat += kernel.charge_memory(
+                                ledger, cfg.memory_latency, cfg.memory_energy_nj
+                            )
+                    else:
+                        lat += charge_probe(hl, hit=True,
+                                            rank=hier.last_hit_rank)
+                else:
+                    if predictor is not None:
+                        predicted = predictor.predict_present(block)
+                        if predictor.last_consulted:
+                            lat += kernel.charge_lookup(ledger)
+                        stall += predictor.note_l1_miss()
+                    elif oracle:
+                        predicted = hl != 0
+                    else:
+                        predicted = True
+                    if not predicted and skipper:
+                        if hl != 0:
+                            raise ReproError(
+                                f"false negative: block {block:#x} resident at L{hl}"
+                            )
+                        skips += 1
+                    else:
+                        top = hl if hl >= 2 else num_levels
+                        for level in range(2, top + 1):
+                            lat += charge_probe(level, hit=(level == hl),
+                                                rank=hier.last_hit_rank)
+                        if skipper and hl == 0:
+                            false_positives += 1
+                    if hl == 0:
+                        if dram_model is not None:
+                            lat += kernel.charge_dram(ledger, dram_model, block)
+                        else:
+                            lat += kernel.charge_memory(
+                                ledger, cfg.memory_latency, cfg.memory_energy_nj
+                            )
+                    # Apply this access's LLC events after the lookup raced them.
+                    if predictor is not None and pending:
+                        for op, eb in pending:
+                            if op == _FILL:
+                                predictor.on_llc_fill(eb)
+                            else:
+                                predictor.on_llc_evict(eb)
+                    pending.clear()
 
             pending.clear()
 
@@ -321,6 +405,8 @@ class IntegratedSimulator:
         )
         if ctx is not None:
             checker.final(ctx.current_ref)
+            if ehc:
+                checking.check_ehc_counters(predictor, ctx)
             checking.check_result(result, ctx)
         return result
 

@@ -121,7 +121,7 @@ class ExperimentRunner:
 
     @staticmethod
     def _check_policy(scheme: SchemeSpec, cfg: SimConfig) -> None:
-        if scheme.kind == "predictor" and not cfg.policy.llc_is_superset:
+        if scheme.consults_table and not cfg.policy.llc_is_superset:
             raise ConfigError(
                 "two-phase evaluation of predictor schemes needs an "
                 "LLC-superset (inclusive/hybrid) policy"

@@ -52,6 +52,7 @@ from repro.workloads import EXTENDED_NAMES, SPEC_NAMES
 
 __all__ = [
     "PREDICTOR_SCHEMES",
+    "RECAL_SCHEMES",
     "SWEEP_SCHEMES",
     "CellSpec",
     "SweepSpec",
@@ -60,12 +61,17 @@ __all__ = [
     "load_sweep",
 ]
 
-#: Scheme axis vocabulary: the §V line-up by construction recipe.
-SWEEP_SCHEMES = ("base", "oracle", "phased", "waypred", "cbf", "redhip")
+#: Scheme axis vocabulary: the §V line-up plus the predictor zoo.
+SWEEP_SCHEMES = ("base", "oracle", "phased", "waypred", "cbf", "redhip",
+                 "levelpred", "ehc")
 
 #: Schemes that consult a prediction table — the only ones for which the
 #: ``pt_kb`` and ``probe_mode`` axes are meaningful.
-PREDICTOR_SCHEMES = frozenset({"cbf", "redhip"})
+PREDICTOR_SCHEMES = frozenset({"cbf", "redhip", "levelpred", "ehc"})
+
+#: Schemes with a periodic recalibration sweep — the only ones for which
+#: the ``recal_multiple`` axis is meaningful (CBF never recalibrates).
+RECAL_SCHEMES = frozenset({"redhip", "levelpred", "ehc"})
 
 _PROBE_MODES = ("parallel", "phased", "waypred")
 
@@ -87,7 +93,8 @@ class CellSpec:
     ``recal_multiple``
         recalibration period as a multiple of the machine's paper-cadence
         default (:func:`repro.sim.config.default_recal_period`);
-        ``float("inf")`` means never recalibrate; ReDHiP only.
+        ``float("inf")`` means never recalibrate; recalibrating schemes
+        only (``redhip``/``levelpred``/``ehc`` — CBF has no sweep).
     ``probe_mode``
         how the levels a predictor scheme *does* probe are accessed:
         ``parallel`` (default), ``phased`` or ``waypred`` at the large
@@ -144,7 +151,7 @@ class CellSpec:
                 changes["probe_mode"] = None
         elif self.probe_mode is None:
             changes["probe_mode"] = "parallel"
-        if self.scheme != "redhip" and self.recal_multiple is not None:
+        if self.scheme not in RECAL_SCHEMES and self.recal_multiple is not None:
             changes["recal_multiple"] = None
         return replace(self, **changes) if changes else self
 
@@ -223,6 +230,8 @@ def build_scheme(cell: CellSpec, machine):
         waypred_scheme,
     )
     from repro.predictors.cbf_scheme import cbf_scheme
+    from repro.predictors.ehc import ehc_scheme
+    from repro.predictors.levelpred import levelpred_scheme
 
     cell = cell.canonical()
     if cell.scheme == "base":
@@ -242,7 +251,12 @@ def build_scheme(cell: CellSpec, machine):
             from repro.sim.config import default_recal_period
 
             period = max(1, round(cell.recal_multiple * default_recal_period(machine)))
-        spec = redhip_scheme(table_bytes=table_bytes, recal_period=period)
+        if cell.scheme == "levelpred":
+            spec = levelpred_scheme(table_bytes=table_bytes, recal_period=period)
+        elif cell.scheme == "ehc":
+            spec = ehc_scheme(budget_bytes=table_bytes, recal_period=period)
+        else:
+            spec = redhip_scheme(table_bytes=table_bytes, recal_period=period)
     if cell.probe_mode == "phased":
         spec = replace(spec, phased_levels=(3, 4))
     elif cell.probe_mode == "waypred":
@@ -275,6 +289,16 @@ class SweepSpec:
         if not self.workloads:
             raise ConfigError("sweep spec needs at least one workload")
         check_positive("refs_per_core", self.refs_per_core)
+        non_parallel = [m for m in self.probe_modes if m not in (None, "parallel")]
+        if non_parallel and not any(s in PREDICTOR_SCHEMES for s in self.schemes):
+            # Message derives from the registry so it stays true as the
+            # zoo grows (a regression test pins this).
+            raise ConfigError(
+                f"probe_modes {sorted(set(non_parallel))} only apply to "
+                f"predictor schemes; add one of {sorted(PREDICTOR_SCHEMES)} "
+                "to 'schemes' (non-predictor rows carry their probe "
+                "discipline in the scheme itself)"
+            )
 
     def cells(self) -> list:
         """Expand the grid: canonicalized, deduplicated, stable order."""

@@ -18,6 +18,12 @@ import json
 from pathlib import Path
 
 GOLDEN_PATH = Path(__file__).parent / "tiny_golden.json"
+FINGERPRINTS_PATH = Path(__file__).parent / "sweep_cell_fingerprints.json"
+#: The committed sweep grids whose cell fingerprints are pinned.  A
+#: fingerprint is the resume key — if one moves, every existing results
+#: store silently forgets the cell — so scheme-axis extensions must leave
+#: the pre-existing grid's fingerprints untouched.
+SWEEP_GRIDS = ("sweep_smoke.json", "sweep_zoo.json")
 MACHINE = "tiny"
 REFS_PER_CORE = 2000
 SEEDS = (1, 2, 3)
@@ -71,10 +77,24 @@ def compute_golden() -> dict:
     return data
 
 
+def compute_sweep_fingerprints() -> dict:
+    """label -> fingerprint for every cell of the committed sweep grids."""
+    from repro.sweep.spec import load_sweep
+
+    data: dict = {}
+    for grid in SWEEP_GRIDS:
+        spec = load_sweep(Path(__file__).parent / grid)
+        data[grid] = {cell.label(): cell.fingerprint() for cell in spec.cells()}
+    return data
+
+
 def main() -> None:
     data = compute_golden()
     GOLDEN_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
     print(f"wrote {GOLDEN_PATH}")
+    prints = compute_sweep_fingerprints()
+    FINGERPRINTS_PATH.write_text(json.dumps(prints, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {FINGERPRINTS_PATH}")
 
 
 if __name__ == "__main__":

@@ -22,6 +22,8 @@ from repro.predictors.base import (
     waypred_scheme,
 )
 from repro.predictors.cbf_scheme import cbf_scheme
+from repro.predictors.ehc import ehc_scheme
+from repro.predictors.levelpred import levelpred_scheme, oracle_levelpred_scheme
 from repro.sim import vector_replay
 from repro.sim.integrated import IntegratedSimulator
 from repro.sim.runner import ExperimentRunner
@@ -33,6 +35,9 @@ SCHEMES = {
     "oracle": lambda cfg: oracle_scheme(),
     "cbf": lambda cfg: cbf_scheme(),
     "redhip": lambda cfg: redhip_scheme(recal_period=cfg.recal_period),
+    "levelpred": lambda cfg: levelpred_scheme(recal_period=cfg.recal_period),
+    "ehc": lambda cfg: ehc_scheme(recal_period=cfg.recal_period),
+    "oracle_levelpred": lambda cfg: oracle_levelpred_scheme(),
 }
 
 
