@@ -12,6 +12,7 @@ Examples::
     python -m repro check --replay .repro-replay/inclusion-mcf-inclusive-s1-r123.json
     python -m repro chaos --plan tests/golden/chaos_plan.json
     python -m repro sweep tests/golden/sweep_smoke.json --store results.sqlite
+    python -m repro merge merged.sqlite hostA.sqlite hostB.sqlite
     python -m repro query results.sqlite --where scheme=redhip --csv
     python -m repro watch results.sqlite --once
     python -m repro report results.sqlite --json
@@ -90,6 +91,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="regenerate one artifact")
     run.add_argument("experiment", help="artifact id (see `repro list`)")
+    run.add_argument("--store", type=Path, default=None,
+                     help="persist the experiment's results store at this "
+                          "path (grid experiments only): an interrupted "
+                          "run resumes from it instead of recomputing")
     add_run_options(run)
 
     run_all = sub.add_parser("run-all", help="regenerate every artifact")
@@ -199,6 +204,16 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--telemetry", "-v", action="store_true",
                     help="collect sweep-level spans/counters and print a "
                          "summary (REPRO_TELEMETRY=1 does the same)")
+
+    mg = sub.add_parser(
+        "merge",
+        help="merge results stores into one: pure union of canonical rows "
+             "keyed by cell fingerprint (cross-host sweep consolidation)",
+    )
+    mg.add_argument("dst", type=Path,
+                    help="destination store (created if missing)")
+    mg.add_argument("src", type=Path, nargs="+",
+                    help="source stores to fold in, in order")
 
     qu = sub.add_parser(
         "query",
@@ -571,6 +586,30 @@ def _sweep(args) -> int:
     return 0
 
 
+def _merge(args) -> int:
+    """``repro merge``: consolidate sharded/cross-host stores into one.
+
+    Union by fingerprint; the same fingerprint with a different canonical
+    payload is a hard error (one store is corrupt or was produced by
+    incompatible code), surfaced as a non-zero exit with nothing further
+    merged from that source.
+    """
+    from repro.results import ResultsStore
+
+    with ResultsStore(args.dst) as dst:
+        for src_path in args.src:
+            if not src_path.exists():
+                raise ReproError(
+                    f"no results store at {src_path}; "
+                    f"produce one with `repro sweep <spec>`"
+                )
+            with ResultsStore(src_path) as src:
+                added, skipped = dst.merge_from(src)
+            print(f"{src_path}: {added} added, {skipped} already present")
+        print(f"store {args.dst} ({len(dst)} rows) digest {dst.digest()}")
+    return 0
+
+
 def _query(args) -> int:
     """``repro query``: the shell view of one results store."""
     from repro.results import ResultsStore
@@ -787,7 +826,8 @@ def main(argv: list[str] | None = None) -> int:
         elif args.command == "run":
             cfg = _config(args)
             with telemetry.session(cfg, label=f"run-{args.experiment}") as sess:
-                result = run_experiment(args.experiment, cfg, **_run_kwargs(args))
+                result = run_experiment(args.experiment, cfg,
+                                        store=args.store, **_run_kwargs(args))
                 _emit(result, args.out, chart=args.chart)
                 clear_cache()
                 _write_manifest(sess, cfg, [args.experiment], args.out)
@@ -822,6 +862,8 @@ def main(argv: list[str] | None = None) -> int:
             return _chaos(args)
         elif args.command == "sweep":
             return _sweep(args)
+        elif args.command == "merge":
+            return _merge(args)
         elif args.command == "query":
             return _query(args)
         elif args.command == "watch":

@@ -7,6 +7,18 @@ callable that turns an :class:`ExperimentContext` into an
 path every spec runs through, so the cross-cutting wiring happens exactly
 once:
 
+**One execution substrate** (DESIGN.md): a spec that also declares the
+``cells``/``render`` pair *compiles to* a sweep — :func:`run_spec` expands
+the grid, executes it through :func:`repro.sweep.scheduler.run_cells`
+against a :class:`~repro.results.store.ResultsStore` (resumable, sharded,
+journalled, fault-aware), and renders the artifact as a pure function of
+the canonical store rows.  ``build`` remains the fallback for configs the
+grid vocabulary cannot express (non-registry machines, coherent or
+timing-model variants) and for genuinely non-grid artifacts.  Pass
+``store=<path>`` to keep the results store (a second run resumes from it);
+by default each run uses a private temporary store, recomputing cells but
+sharing content walks through a process-wide stream cache.
+
 * **telemetry** — each run is wrapped in an ``experiment`` span and bumps
   the ``experiments.runs`` counter;
 * **fault injection** — a config that names a fault plan
@@ -27,16 +39,22 @@ wrappers that route through here, so both ``run_experiment("fig6")`` and
 
 from __future__ import annotations
 
+import atexit
 import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
 from repro import faults, telemetry
+from repro.energy.params import get_machine
 from repro.experiments.context import default_config, get_runner
 from repro.sim.config import SimConfig
 from repro.sim.report import ExperimentResult
+from repro.util.validation import ReproError
 
-__all__ = ["ExperimentContext", "ExperimentSpec", "run_spec"]
+__all__ = ["ExperimentContext", "ExperimentSpec", "griddable", "run_spec"]
 
 
 @dataclass(frozen=True)
@@ -69,6 +87,15 @@ class ExperimentSpec:
     uses_runner: bool = True
     smoke_kwargs: Mapping[str, Any] = field(default_factory=dict, compare=False)
     notes: str = ""
+    #: Grid protocol (both or neither): ``cells(cfg, **kwargs)`` compiles
+    #: the experiment to canonical :class:`~repro.sweep.spec.CellSpec`
+    #: instances; ``render(cfg, rows, **kwargs)`` turns the resulting
+    #: fingerprint-keyed store rows into the artifact.  When present and
+    #: the config is :func:`griddable`, :func:`run_spec` executes through
+    #: the sweep scheduler + results store instead of ``build``.
+    cells: "Callable[..., list] | None" = field(default=None, compare=False)
+    render: "Callable[..., ExperimentResult] | None" = field(
+        default=None, compare=False)
 
 
 class ExperimentContext:
@@ -113,15 +140,113 @@ def _maybe_prewarm(ctx: ExperimentContext, workloads) -> None:
         prewarm_streams(ctx.runner, names)
 
 
+def griddable(cfg: SimConfig) -> bool:
+    """Can the cell vocabulary express this config exactly?
+
+    A :class:`~repro.sweep.spec.CellSpec` pins a *registry* machine by
+    name plus the paper's timing model; a config that modifies the machine
+    (``with_cores``/``deep_machine``), turns on coherence, or relaxes the
+    §IV memory model has no cell encoding and stays on the imperative
+    ``build`` path.  ``checked=True`` set on the config object (rather
+    than via ``REPRO_CHECKED``, which workers inherit) is likewise not
+    representable.
+    """
+    try:
+        registry = get_machine(cfg.machine.name)
+    except Exception:
+        return False
+    return (
+        registry == cfg.machine
+        and not cfg.coherent
+        and cfg.memory_latency == 0.0
+        and cfg.memory_energy_nj == 0.0
+        and cfg.mlp == 1.0
+        and cfg.dram is None
+        and not cfg.checked
+    )
+
+
+#: Process-shared stream-cache directory for grid runs without an explicit
+#: cache: private temporary stores come and go per figure, but the content
+#: trajectories they replay are shared — ``repro run-all`` walks each one
+#: once.  Created lazily, removed at interpreter exit.
+_SHARED_STREAM_CACHE: "tempfile.TemporaryDirectory | None" = None
+
+
+def _grid_stream_cache(cfg: SimConfig, store_path: Path) -> "str | None":
+    from repro.sim.streamcache import CACHE_ENV
+
+    if cfg.stream_cache:
+        return cfg.stream_cache
+    if os.environ.get(CACHE_ENV, "").strip():
+        return None  # resolve_cache honours the environment directly
+    global _SHARED_STREAM_CACHE
+    if _SHARED_STREAM_CACHE is None:
+        _SHARED_STREAM_CACHE = tempfile.TemporaryDirectory(
+            prefix="repro-experiments-cache-")
+        atexit.register(_SHARED_STREAM_CACHE.cleanup)
+    return _SHARED_STREAM_CACHE.name
+
+
+@contextmanager
+def _grid_store(store: "str | Path | None", experiment_id: str):
+    """The store path a grid run writes: the caller's (kept, resumable)
+    or a run-private temporary one (recomputed every time)."""
+    if store is not None:
+        yield Path(store)
+        return
+    with tempfile.TemporaryDirectory(prefix="repro-experiment-") as tmp:
+        yield Path(tmp) / f"{experiment_id}.sqlite"
+
+
+def _run_grid(spec: ExperimentSpec, cfg: SimConfig,
+              store: "str | Path | None", kwargs: dict) -> ExperimentResult:
+    """Execute a grid-declaring spec through the sweep substrate."""
+    from repro.results.store import ResultsStore
+    from repro.sim.parallel import default_workers
+    from repro.sweep.scheduler import run_cells
+
+    # Figures may list the same canonical cell twice (e.g. two sweep
+    # points that collapse to the same period); run each once.
+    cells, seen = [], set()
+    for cell in spec.cells(cfg, **kwargs):
+        if cell.fingerprint() not in seen:
+            seen.add(cell.fingerprint())
+            cells.append(cell)
+    workers = default_workers() if os.environ.get("REPRO_PARALLEL") else 1
+    with _grid_store(store, spec.experiment_id) as store_path:
+        stream_cache = _grid_stream_cache(cfg, store_path)
+        report = run_cells(cells, spec.experiment_id, store_path,
+                           workers=workers, faults_plan=cfg.faults,
+                           stream_cache=stream_cache)
+        if report.failed:
+            # One retry pass: transient failures (injected cell faults,
+            # lost workers) heal on resume; persistent ones are real.
+            report = run_cells(cells, spec.experiment_id, store_path,
+                               workers=workers, faults_plan=cfg.faults,
+                               stream_cache=stream_cache)
+        if report.failed:
+            failed = ", ".join(label for _, label, _ in report.failed)
+            raise ReproError(
+                f"experiment {spec.experiment_id}: {len(report.failed)} "
+                f"cell(s) failed after retry: {failed}"
+            )
+        with ResultsStore(store_path) as results:
+            rows = {row["fingerprint"]: row for row in results.rows()}
+    return spec.render(cfg, rows, **kwargs)
+
+
 def run_spec(
     spec: ExperimentSpec, config: SimConfig | None = None,
-    smoke: bool = False, **kwargs,
+    smoke: bool = False, store: "str | Path | None" = None, **kwargs,
 ) -> ExperimentResult:
     """Run one spec: the single entry point for every experiment.
 
     ``smoke=True`` merges :attr:`ExperimentSpec.smoke_kwargs` under the
     caller's kwargs (explicit arguments win), which is how the CLI's
     ``repro experiments smoke`` and CI keep a registry-wide pass cheap.
+    ``store`` (grid specs only) persists the results store at that path so
+    an interrupted figure resumes instead of recomputing.
     """
     cfg = config if config is not None else default_config()
     if smoke:
@@ -129,6 +254,8 @@ def run_spec(
     with telemetry.span("experiment", experiment=spec.experiment_id):
         telemetry.count("experiments.runs", experiment=spec.experiment_id)
         faults.ensure(cfg)
+        if spec.cells is not None and spec.render is not None and griddable(cfg):
+            return _run_grid(spec, cfg, store, kwargs)
         ctx = ExperimentContext(spec, cfg)
         if spec.uses_runner:
             _maybe_prewarm(ctx, kwargs.get("workloads", spec.workloads))

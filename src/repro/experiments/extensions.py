@@ -370,6 +370,58 @@ def build_timing_sensitivity(ctx, workloads=TIMING_WORKLOADS) -> ExperimentResul
 
 RELWORK_WORKLOADS = ("bwaves", "mcf", "soplex", "blas")
 
+#: Cell schemes the §II comparison sweeps, in column order.
+_RELWORK_SCHEMES = ("phased", "waypred", "redhip")
+
+
+def cells_related_work(cfg, workloads=RELWORK_WORKLOADS):
+    from repro.experiments.grids import grid_cell
+
+    out = []
+    for w in workloads:
+        out.append(grid_cell(cfg, w, "base"))
+        out.extend(grid_cell(cfg, w, s) for s in _RELWORK_SCHEMES)
+    # The per-category energy table covers one workload, Oracle included.
+    out.append(grid_cell(cfg, workloads[0], "oracle"))
+    return out
+
+
+def render_related_work(cfg, rows, workloads=RELWORK_WORKLOADS) -> ExperimentResult:
+    from repro.experiments.grids import SCHEME_NAMES, grid_cell, row_result
+    from repro.sim.report import scheme_comparison_table
+
+    names = [SCHEME_NAMES[s] for s in _RELWORK_SCHEMES]
+    series: dict[str, dict[str, float]] = {}
+    by_scheme: dict[str, object] = {}
+    for wname in workloads:
+        base = row_result(rows, grid_cell(cfg, wname, "base"))
+        row: dict[str, float] = {}
+        for key, name in zip(_RELWORK_SCHEMES, names):
+            res = row_result(rows, grid_cell(cfg, wname, key))
+            row[f"{name} spd"] = res.speedup_over(base) - 1.0
+            row[f"{name} dynE"] = res.dynamic_ratio(base)
+            if wname == workloads[0]:
+                by_scheme[name] = res
+        series[wname] = row
+        if wname == workloads[0]:
+            by_scheme["Base"] = base
+            by_scheme["Oracle"] = row_result(
+                rows, grid_cell(cfg, wname, "oracle"))
+    series = add_average(series)
+    cols = [f"{n} spd" for n in names] + [f"{n} dynE" for n in names]
+    table = format_table(series, cols, value_format="{:+.1%}")
+    category_table = scheme_comparison_table(by_scheme)
+    return ExperimentResult(
+        experiment_id="ext-relwork",
+        title="Related-work design space: Phased vs WayPred vs ReDHiP",
+        series=series,
+        table=table,
+        notes="Way prediction and phasing cut data-array energy but keep "
+        "every lookup; ReDHiP removes the lookups — the paper's bet.",
+        extra={"category_table": category_table,
+               "category_workload": workloads[0]},
+    )
+
 
 def build_related_work(ctx, workloads=RELWORK_WORKLOADS) -> ExperimentResult:
     """The §II design space side by side: serialize, way-predict, or skip.
@@ -587,6 +639,8 @@ SPECS = (
         workloads=RELWORK_WORKLOADS,
         schemes=("Base", "Phased", "WayPred", "ReDHiP", "Oracle"),
         smoke_kwargs=_SMOKE,
+        cells=cells_related_work,
+        render=render_related_work,
     ),
     ExperimentSpec(
         experiment_id="ext-nine",

@@ -14,10 +14,11 @@ from __future__ import annotations
 from repro.core.redhip import redhip_scheme
 from repro.predictors.base import base_scheme
 from repro.experiments.driver import ExperimentSpec, run_spec
+from repro.experiments.grids import grid_cell, row_result
 from repro.sim.report import ExperimentResult, add_average, format_table
 from repro.workloads import PAPER_WORKLOADS
 
-__all__ = ["SPEC", "build", "run", "sweep_sizes"]
+__all__ = ["SPEC", "build", "cells", "render", "run", "sweep_sizes"]
 
 EXPERIMENT_ID = "fig11"
 TITLE = "ReDHiP dynamic energy vs prediction-table size (accuracy only)"
@@ -35,6 +36,52 @@ def _accuracy_only_ratio(result, base) -> float:
     """Dynamic-energy ratio with every PT charge excluded (per §V-B)."""
     dyn = result.dynamic_nj - result.ledger.component_nj("PT")
     return dyn / base.dynamic_nj
+
+
+def _size_labels(cfg):
+    sizes = sweep_sizes(cfg.machine.llc.size)
+    labels = [f"{s // 1024}KB" if s >= 1024 else f"{s}B" for s in sizes]
+    return sizes, labels
+
+
+def cells(cfg, workloads=PAPER_WORKLOADS):
+    sizes, _ = _size_labels(cfg)
+    out = []
+    for w in workloads:
+        out.append(grid_cell(cfg, w, "base"))
+        # pt_kb is the cell axis; size/1024 round-trips exactly because
+        # every swept size is a power of two.
+        out.extend(grid_cell(cfg, w, "redhip", pt_kb=size / 1024)
+                   for size in sizes)
+    return out
+
+
+def render(cfg, rows, workloads=PAPER_WORKLOADS) -> ExperimentResult:
+    sizes, labels = _size_labels(cfg)
+    series: dict[str, dict[str, float]] = {}
+    for wname in workloads:
+        base = row_result(rows, grid_cell(cfg, wname, "base"))
+        row: dict[str, float] = {}
+        for size, label in zip(sizes, labels):
+            res = row_result(rows, grid_cell(cfg, wname, "redhip",
+                                             pt_kb=size / 1024))
+            row[label] = _accuracy_only_ratio(res, base)
+        series[wname] = row
+    series = add_average(series)
+    table = format_table(series, labels, value_format="{:.1%}")
+    avg = series["average"]
+    knee = labels[RATIO_EXPONENTS.index(-7)]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        series=series,
+        table=table,
+        notes=(
+            f"Paper: gains marginal beyond the 2^-7 ratio point ({knee} here, "
+            f"= the chosen 0.78% of LLC); smallest table nearly useless. "
+            f"Measured average at {knee}: {avg[knee]:.1%} of base."
+        ),
+    )
 
 
 def build(ctx, workloads=PAPER_WORKLOADS) -> ExperimentResult:
@@ -82,6 +129,8 @@ SPEC = ExperimentSpec(
     schemes=("Base", "ReDHiP"),
     sweep=("table_bytes",),
     smoke_kwargs={"workloads": ("mcf", "bwaves")},
+    cells=cells,
+    render=render,
 )
 
 

@@ -19,15 +19,55 @@ from repro.core.redhip import redhip_scheme
 from repro.hierarchy.inclusion import InclusionPolicy
 from repro.predictors.base import base_scheme
 from repro.experiments.driver import ExperimentSpec, run_spec
+from repro.experiments.grids import grid_cell, row_result
 from repro.sim.report import ExperimentResult, add_average, format_table
 from repro.workloads import PAPER_WORKLOADS
 
-__all__ = ["SPEC", "build", "run"]
+__all__ = ["SPEC", "build", "cells", "render", "run"]
 
 EXPERIMENT_ID = "fig13"
 TITLE = "ReDHiP dynamic-energy savings by inclusion policy"
 
 COLUMNS = ["Inclusive", "Hybrid", "Exclusive"]
+
+#: Cell-axis policy values, in the figure's column order.  The scheduler
+#: dispatches the (redhip, exclusive) cell to the integrated per-level
+#: table stack — the same ``run_exclusive_redhip`` path ``build`` calls.
+_POLICIES = ("inclusive", "hybrid", "exclusive")
+
+
+def cells(cfg, workloads=PAPER_WORKLOADS):
+    return [grid_cell(cfg, w, scheme, policy=policy)
+            for w in workloads
+            for policy in _POLICIES
+            for scheme in ("base", "redhip")]
+
+
+def render(cfg, rows, workloads=PAPER_WORKLOADS) -> ExperimentResult:
+    series: dict[str, dict[str, float]] = {}
+    for wname in workloads:
+        row: dict[str, float] = {}
+        for policy in _POLICIES:
+            base = row_result(rows, grid_cell(cfg, wname, "base",
+                                              policy=policy))
+            red = row_result(rows, grid_cell(cfg, wname, "redhip",
+                                             policy=policy))
+            row[policy.capitalize()] = 1.0 - red.dynamic_ratio(base)
+        series[wname] = row
+    series = add_average(series)
+    table = format_table(series, COLUMNS, value_format="{:.1%}")
+    avg = series["average"]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        series=series,
+        table=table,
+        notes=(
+            "Paper: hybrid ~= inclusive; exclusive ~15pp lower but still >40% "
+            "savings vs its own base. Measured average savings: "
+            + ", ".join(f"{k}={v:.0%}" for k, v in avg.items())
+        ),
+    )
 
 
 def build(ctx, workloads=PAPER_WORKLOADS) -> ExperimentResult:
@@ -72,6 +112,8 @@ SPEC = ExperimentSpec(
     schemes=("Base", "ReDHiP"),
     sweep=("policy",),
     smoke_kwargs={"workloads": ("mcf", "bwaves")},
+    cells=cells,
+    render=render,
 )
 
 

@@ -11,14 +11,51 @@ from __future__ import annotations
 from repro.core.redhip import redhip_scheme
 from repro.experiments.context import paper_schemes
 from repro.experiments.driver import ExperimentSpec, run_spec
+from repro.experiments.grids import (
+    PAPER_SCHEME_KEYS,
+    SCHEME_NAMES,
+    grid_cell,
+    row_result,
+)
 from repro.sim.report import ExperimentResult, add_average, format_table, speedup_table
 from repro.workloads import PAPER_WORKLOADS
 
-__all__ = ["SPEC", "build", "run"]
+__all__ = ["SPEC", "build", "cells", "render", "run"]
 
 EXPERIMENT_ID = "fig6"
 TITLE = "Speedup over base: Oracle, CBF, Phased, ReDHiP"
 PAPER_AVERAGES = {"Oracle": 0.13, "CBF": 0.04, "Phased": -0.03, "ReDHiP": 0.08}
+
+
+def _scheme_keys(include_no_overhead: bool) -> tuple:
+    return PAPER_SCHEME_KEYS + (("redhip_noov",) if include_no_overhead else ())
+
+
+def cells(cfg, workloads=PAPER_WORKLOADS, include_no_overhead: bool = True):
+    """The figure's grid: every workload x the §V line-up (+ NoOv)."""
+    return [grid_cell(cfg, w, s)
+            for w in workloads for s in _scheme_keys(include_no_overhead)]
+
+
+def render(cfg, rows, workloads=PAPER_WORKLOADS,
+           include_no_overhead: bool = True) -> ExperimentResult:
+    keys = _scheme_keys(include_no_overhead)
+    results = {
+        w: {SCHEME_NAMES[s]: row_result(rows, grid_cell(cfg, w, s))
+            for s in keys}
+        for w in workloads
+    }
+    series = add_average(speedup_table(results))
+    columns = [SCHEME_NAMES[s] for s in keys if s != "base"]
+    table = format_table(series, columns)
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        series=series,
+        table=table,
+        notes=f"Paper averages: {PAPER_AVERAGES}",
+        extra={"results": results},
+    )
 
 
 def build(ctx, workloads=PAPER_WORKLOADS, include_no_overhead: bool = True) -> ExperimentResult:
@@ -56,6 +93,8 @@ SPEC = ExperimentSpec(
     workloads=PAPER_WORKLOADS,
     schemes=("Base", "Oracle", "CBF", "Phased", "ReDHiP", "ReDHiP-NoOv"),
     smoke_kwargs={"workloads": ("mcf", "bwaves")},
+    cells=cells,
+    render=render,
 )
 
 

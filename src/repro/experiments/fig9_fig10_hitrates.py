@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.core.redhip import redhip_scheme
 from repro.predictors.base import base_scheme
 from repro.experiments.driver import ExperimentSpec, run_spec
+from repro.experiments.grids import grid_cell, row_result
 from repro.sim.report import ExperimentResult, add_average, format_table, hit_rate_table
 from repro.workloads import PAPER_WORKLOADS
 
@@ -19,6 +20,50 @@ __all__ = ["SPEC_FIG9", "SPEC_FIG10", "SPEC_DELTA",
            "run_fig9", "run_fig10", "run_delta"]
 
 PAPER_DELTAS_PP = {"L2": 0.14, "L3": 0.12, "L4": 0.18}
+
+
+# The hit-rate builders always evaluate the full PAPER_WORKLOADS line-up
+# (no ``workloads`` kwarg), so the grids are fixed per config.
+def cells_fig9(cfg):
+    return [grid_cell(cfg, w, "base") for w in PAPER_WORKLOADS]
+
+
+def cells_fig10(cfg):
+    return [grid_cell(cfg, w, "redhip") for w in PAPER_WORKLOADS]
+
+
+def cells_delta(cfg):
+    return cells_fig9(cfg) + cells_fig10(cfg)
+
+
+def _render_hit_rates(cfg, rows, experiment_id: str, title: str,
+                      scheme: str) -> ExperimentResult:
+    results = {w: row_result(rows, grid_cell(cfg, w, scheme))
+               for w in PAPER_WORKLOADS}
+    num_levels = cfg.machine.num_levels
+    series = add_average(hit_rate_table(results, num_levels))
+    columns = [f"L{lvl}" for lvl in range(1, num_levels + 1)]
+    table = format_table(series, columns, value_format="{:.1%}")
+    return ExperimentResult(
+        experiment_id=experiment_id, title=title, series=series, table=table,
+        extra={"results": results},
+    )
+
+
+def render_fig9(cfg, rows) -> ExperimentResult:
+    return _render_hit_rates(
+        cfg, rows, "fig9", "Per-level hit rates, base case", "base")
+
+
+def render_fig10(cfg, rows) -> ExperimentResult:
+    return _render_hit_rates(
+        cfg, rows, "fig10", "Per-level hit rates under ReDHiP", "redhip")
+
+
+def render_delta(cfg, rows) -> ExperimentResult:
+    base = render_fig9(cfg, rows)
+    red = render_fig10(cfg, rows)
+    return _delta_result(base, red)
 
 
 def _hit_rate_experiment(ctx, experiment_id: str, title: str, scheme_builder):
@@ -58,8 +103,10 @@ def build_delta(ctx) -> ExperimentResult:
     Calls the fig9/fig10 builders directly (not through the driver), so a
     delta run stays one telemetry span, not three.
     """
-    base = build_fig9(ctx)
-    red = build_fig10(ctx)
+    return _delta_result(build_fig9(ctx), build_fig10(ctx))
+
+
+def _delta_result(base: ExperimentResult, red: ExperimentResult) -> ExperimentResult:
     series: dict[str, dict[str, float]] = {}
     for bench in base.series:
         series[bench] = {
@@ -89,6 +136,8 @@ SPEC_FIG9 = ExperimentSpec(
     kind="paper",
     workloads=PAPER_WORKLOADS,
     schemes=("Base",),
+    cells=cells_fig9,
+    render=render_fig9,
 )
 
 SPEC_FIG10 = ExperimentSpec(
@@ -99,6 +148,8 @@ SPEC_FIG10 = ExperimentSpec(
     kind="paper",
     workloads=PAPER_WORKLOADS,
     schemes=("ReDHiP",),
+    cells=cells_fig10,
+    render=render_fig10,
 )
 
 SPEC_DELTA = ExperimentSpec(
@@ -109,6 +160,8 @@ SPEC_DELTA = ExperimentSpec(
     kind="paper",
     workloads=PAPER_WORKLOADS,
     schemes=("Base", "ReDHiP"),
+    cells=cells_delta,
+    render=render_delta,
 )
 
 

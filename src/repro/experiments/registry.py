@@ -30,6 +30,7 @@ from repro.experiments import (
     fig13_inclusion,
     fig14_15_prefetch,
     intro_energy_split,
+    studies,
     table1_params,
     zoo,
 )
@@ -59,6 +60,7 @@ SPECS: Dict[str, ExperimentSpec] = {
         fig14_15_prefetch.SPEC,
         *extensions.SPECS,
         *zoo.SPECS,
+        *studies.SPECS,
         *ablations.SPECS,
     )
 }

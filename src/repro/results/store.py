@@ -328,15 +328,72 @@ class ResultsStore:
         and the CI sweep-smoke gate compare this)."""
         return hashlib.blake2b(self.canonical_bytes(), digest_size=16).hexdigest()
 
+    # -------------------------------------------------------------- merge
+    def merge_from(self, other: "ResultsStore") -> tuple:
+        """Union another store's rows into this one (cross-host merge).
+
+        Returns ``(added, skipped)``.  Merging is a pure union keyed by
+        fingerprint: a row absent here is copied verbatim — provenance
+        columns included, so per-host wall times and fault summaries
+        survive the merge — and a row already present is skipped *only*
+        after its canonical payload is compared.  The same fingerprint
+        with a different canonical payload means one side is corrupt or
+        was produced by incompatible code; that is a hard
+        :class:`ReproError`, never a silent pick-one.
+        """
+        mine = {
+            row["fingerprint"]: row for row in self.canonical_rows()
+        }
+        added = skipped = 0
+        cur = other._conn.execute(
+            "SELECT " + ", ".join(IDENTITY_COLUMNS) +
+            ", metrics_json, energy_json, wall_s, faults_json, created_at, "
+            "store_schema FROM cells ORDER BY fingerprint"
+        )
+        for rec in cur:
+            fingerprint = rec[0]
+            theirs = dict(zip(CANONICAL_COLUMNS,
+                              rec[: len(CANONICAL_COLUMNS)]))
+            theirs["pt_kb"] = _canon_number(theirs["pt_kb"])
+            theirs["recal_multiple"] = _canon_number(theirs["recal_multiple"])
+            ours = mine.get(fingerprint)
+            if ours is not None:
+                if ours != theirs:
+                    conflicts = sorted(
+                        col for col in CANONICAL_COLUMNS
+                        if ours.get(col) != theirs.get(col)
+                    )
+                    raise ReproError(
+                        f"merge conflict at fingerprint {fingerprint}: "
+                        f"same cell, different canonical payload "
+                        f"(columns: {', '.join(conflicts)}) — one store is "
+                        f"corrupt or was produced by incompatible code"
+                    )
+                skipped += 1
+                continue
+            self._conn.execute(
+                "INSERT INTO cells VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                rec,
+            )
+            mine[fingerprint] = theirs
+            added += 1
+        self._conn.commit()
+        return added, skipped
+
     # ------------------------------------------------------------- export
     @staticmethod
     def export_csv(rows: list, columns: "list | None" = None) -> str:
         """Render flat row dicts as CSV text (deterministic field order).
 
-        Floats are written with ``repr`` (shortest exact round-trip), so
-        the golden-row CI comparison is byte-stable across interpreter
+        Rows that carry a ``fingerprint`` are re-sorted by it before
+        rendering, so the CSV is canonical regardless of the insertion
+        order a resumed or merged store happened to see.  Floats are
+        written with ``repr`` (shortest exact round-trip), so the
+        golden-row CI comparison is byte-stable across interpreter
         versions.
         """
+        if rows and all("fingerprint" in row for row in rows):
+            rows = sorted(rows, key=lambda row: row["fingerprint"])
         if columns is None:
             seen: list = []
             for row in rows:

@@ -16,6 +16,7 @@ input.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 
 __all__ = ["BENCH_GLOB", "TREND_METRICS", "collect_bench", "render_trend"]
@@ -44,8 +45,17 @@ def collect_bench(root: "str | Path" = ".") -> list:
                "refs_per_core": None, "metrics": {}, "error": None}
         try:
             doc = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError) as exc:
+        except (OSError, ValueError) as exc:
+            # ValueError covers both JSONDecodeError and the
+            # UnicodeDecodeError a binary/mis-encoded file raises before
+            # the JSON parser even sees it.
             row["error"] = f"{exc.__class__.__name__}: {exc}"
+            warnings.warn(
+                f"skipping malformed bench artifact {path.name} "
+                f"({row['error']})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             rows.append(row)
             continue
         if not isinstance(doc, dict):

@@ -25,7 +25,7 @@ from repro.sweep.journal import (
     journal_path,
     read_journal,
 )
-from repro.sweep.scheduler import SweepReport, run_sweep
+from repro.sweep.scheduler import SweepReport, run_cells, run_sweep, shard_cells
 from repro.sweep.spec import CellSpec, SweepSpec, load_sweep
 
 __all__ = [
@@ -37,5 +37,7 @@ __all__ = [
     "journal_path",
     "load_sweep",
     "read_journal",
+    "run_cells",
     "run_sweep",
+    "shard_cells",
 ]

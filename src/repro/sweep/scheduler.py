@@ -55,13 +55,21 @@ from repro.sim.parallel import (
 )
 from repro.sim.runner import ExperimentRunner
 from repro.sim.streamcache import CACHE_ENV
+from repro.hierarchy.inclusion import InclusionPolicy
 from repro.sweep.journal import JOURNAL_SCHEMA, SweepJournal, journal_path
-from repro.sweep.spec import CellSpec, SweepSpec, build_scheme
+from repro.sweep.spec import (
+    CellSpec,
+    SweepSpec,
+    build_scheme,
+    cell_recal_period,
+)
 
 __all__ = [
     "HEARTBEAT_ENV",
     "SweepReport",
+    "default_stream_cache",
     "heartbeat_interval",
+    "run_cells",
     "run_sweep",
     "shard_cells",
     "sweep_stream_cache",
@@ -115,20 +123,26 @@ class SweepReport:
         return not self.failed and self.resumed + self.completed == self.total
 
 
+def default_stream_cache(store_path: Path) -> "str | None":
+    """Store-adjacent stream-cache directory (``None`` defers to an
+    explicit ``REPRO_STREAM_CACHE`` environment so :func:`resolve_cache`
+    keeps honouring it)."""
+    if os.environ.get(CACHE_ENV, "").strip():
+        return None
+    return str(store_path.with_name(store_path.stem + ".stream-cache"))
+
+
 def sweep_stream_cache(spec: SweepSpec, store_path: Path) -> "str | None":
     """The shared stream-cache directory for a sweep's workers.
 
-    Spec wins, then an explicit ``REPRO_STREAM_CACHE`` environment
-    (returned as ``None`` so :func:`resolve_cache` keeps honouring it),
+    Spec wins, then an explicit ``REPRO_STREAM_CACHE`` environment,
     else a directory next to the store — a sweep always runs with the
     cache as shared backend, because resumes and scheme-axis grids revisit
     the same trajectories constantly.
     """
     if spec.stream_cache:
         return spec.stream_cache
-    if os.environ.get(CACHE_ENV, "").strip():
-        return None
-    return str(store_path.with_name(store_path.stem + ".stream-cache"))
+    return default_stream_cache(store_path)
 
 
 def _ensure_plan(faults_plan: "str | None") -> None:
@@ -140,11 +154,16 @@ def _ensure_plan(faults_plan: "str | None") -> None:
 
 
 def shard_cells(cells) -> list:
-    """Group cells by content trajectory, preserving first-seen order."""
+    """Group cells by content trajectory, preserving first-seen order.
+
+    Every axis that :meth:`CellSpec.sim_config` forwards to the runner
+    config is part of the key — a shard's single runner must be valid
+    for each of its cells.
+    """
     shards: dict = {}
     for cell in cells:
         key = (cell.machine, cell.policy, cell.seed, cell.workload,
-               cell.refs_per_core)
+               cell.refs_per_core, cell.replacement, cell.fill_weight)
         shards.setdefault(key, []).append(cell)
     return list(shards.values())
 
@@ -322,7 +341,18 @@ def _execute_cells(cells, sweep_name: str, stream_cache: "str | None",
                     f"injected cell failure for {label}"
                 )
             with telemetry.span("sweep_cell", cell=label):
-                result = runner.run(cell.workload, build_scheme(cell, cfg.machine))
+                if (cell.scheme == "redhip"
+                        and not InclusionPolicy.parse(
+                            cell.policy).llc_is_superset):
+                    # No shared-table two-phase replay without an
+                    # LLC-superset policy: exclusive ReDHiP runs the
+                    # integrated per-level table stack (Figure 13).
+                    result = runner.run_exclusive_redhip(
+                        cell.workload,
+                        recal_period=cell_recal_period(cell, cfg.machine))
+                else:
+                    result = runner.run(
+                        cell.workload, build_scheme(cell, cfg.machine))
         except Exception as exc:
             reason = f"{exc.__class__.__name__}: {exc}"
             faults.handled("sweep.cell", "cell_skipped", cell=label, error=reason)
@@ -447,11 +477,40 @@ def run_sweep(
     deterministically; production runs leave it ``None``.
     """
     store_path = Path(store_path)
+    return run_cells(
+        spec.cells(), spec.name, store_path,
+        workers=workers, timeout_s=timeout_s, max_cells=max_cells,
+        faults_plan=faults_plan,
+        stream_cache=sweep_stream_cache(spec, store_path),
+    )
+
+
+def run_cells(
+    cells,
+    name: str,
+    store_path: "str | Path",
+    workers: "int | None" = None,
+    timeout_s: "float | None" = None,
+    max_cells: "int | None" = None,
+    faults_plan: "str | None" = None,
+    stream_cache: "str | None" = None,
+) -> SweepReport:
+    """Run (or resume) an explicit cell list against a store.
+
+    The cells-level entry point beneath :func:`run_sweep` — the
+    experiment driver compiles figure specs straight to cell lists and
+    lands here, inheriting resume, sharding, journaling and fault
+    policies without a :class:`SweepSpec` in between.  ``stream_cache``
+    defaults to the store-adjacent directory (unless an explicit
+    ``REPRO_STREAM_CACHE`` claims it).
+    """
+    store_path = Path(store_path)
     _ensure_plan(faults_plan)
-    cells = spec.cells()
-    report = SweepReport(sweep=spec.name, store_path=store_path,
+    cells = list(cells)
+    report = SweepReport(sweep=name, store_path=store_path,
                          total=len(cells), resumed=0, completed=0)
-    stream_cache = sweep_stream_cache(spec, store_path)
+    if stream_cache is None:
+        stream_cache = default_stream_cache(store_path)
     nworkers = workers if workers is not None else default_workers()
     timeout = timeout_s if timeout_s is not None else default_worker_timeout()
 
@@ -474,7 +533,7 @@ def run_sweep(
         report.shards = len(shards)
         report.workers = min(nworkers, len(shards)) if shards else 0
 
-        journal.append("run_started", sweep=spec.name, schema=JOURNAL_SCHEMA,
+        journal.append("run_started", sweep=name, schema=JOURNAL_SCHEMA,
                        store=str(store_path), pid=os.getpid(),
                        total=len(cells), pending=len(pending),
                        resumed=report.resumed, shards=len(shards),
@@ -487,7 +546,7 @@ def run_sweep(
 
         faults.add_listener(_on_handled)
         try:
-            with telemetry.span("sweep", sweep=spec.name, cells=len(cells),
+            with telemetry.span("sweep", sweep=name, cells=len(cells),
                                 pending=len(pending), shards=len(shards)):
                 telemetry.count("sweep.runs")
                 telemetry.count("sweep.cells.planned", len(cells))
@@ -500,11 +559,11 @@ def run_sweep(
                                 inline=True,
                                 fingerprints=[c.fingerprint() for c in shard])
                             rows, failures, stages = _execute_cells(
-                                shard, spec.name, stream_cache, faults_plan)
+                                shard, name, stream_cache, faults_plan)
                             _ingest(store, rows, failures, report, journal,
                                     stages)
                     else:
-                        _run_pooled(shards, spec, store, report, stream_cache,
+                        _run_pooled(shards, name, store, report, stream_cache,
                                     faults_plan, nworkers, timeout, journal)
         finally:
             faults.remove_listener(_on_handled)
@@ -613,7 +672,7 @@ def _await_shard(fut, timeout: float, tick) -> tuple:
             tick()
 
 
-def _run_pooled(shards, spec, store, report, stream_cache, faults_plan,
+def _run_pooled(shards, name, store, report, stream_cache, faults_plan,
                 nworkers, timeout, journal: SweepJournal) -> None:
     """Fan shards over a process pool, absorbing every worker loss.
 
@@ -643,7 +702,7 @@ def _run_pooled(shards, spec, store, report, stream_cache, faults_plan,
                            inline=True,
                            fingerprints=[c.fingerprint() for c in shard])
             rows, failures, stages = _execute_cells(
-                shard, spec.name, stream_cache, faults_plan)
+                shard, name, stream_cache, faults_plan)
             _ingest(store, rows, failures, report, journal, stages)
         return
     telemetry.count("parallel.pools")
@@ -672,7 +731,7 @@ def _run_pooled(shards, spec, store, report, stream_cache, faults_plan,
         futures = []
         for index, shard in enumerate(shards):
             fut = pool.submit(run_shard, [asdict(c) for c in shard],
-                              spec.name, stream_cache, faults_plan,
+                              name, stream_cache, faults_plan,
                               channel, index, interval)
             watches[index] = _ShardWatch(shard[0].workload)
             journal.append("shard_dispatched", shard=index,
@@ -722,6 +781,6 @@ def _run_pooled(shards, spec, store, report, stream_cache, faults_plan,
             RuntimeWarning,
             stacklevel=3,
         )
-        rows, failures, stages = _execute_cells(shard, spec.name,
+        rows, failures, stages = _execute_cells(shard, name,
                                                 stream_cache, faults_plan)
         _ingest(store, rows, failures, report, journal, stages)

@@ -57,23 +57,35 @@ __all__ = [
     "CellSpec",
     "SweepSpec",
     "build_scheme",
+    "cell_recal_period",
     "known_workloads",
     "load_sweep",
 ]
 
-#: Scheme axis vocabulary: the §V line-up plus the predictor zoo.
+#: Scheme axis vocabulary: the §V line-up plus the predictor zoo, plus
+#: the figure/ablation variants the experiment grids compile to —
+#: ``redhip_noov`` (zero-latency table lookup, Figure 6's "+10 % without
+#: overhead" row), ``redhip_xor`` (xor-hash, the §III-B hash ablation) and
+#: ``cbf_counting`` (bits-hash 4-bit-counter CBF, the entry-width
+#: ablation's equal-area competitor).  New names append; the pre-existing
+#: vocabulary and its fingerprints are pinned by the golden suite.
 SWEEP_SCHEMES = ("base", "oracle", "phased", "waypred", "cbf", "redhip",
-                 "levelpred", "ehc")
+                 "levelpred", "ehc", "redhip_noov", "redhip_xor",
+                 "cbf_counting")
 
 #: Schemes that consult a prediction table — the only ones for which the
 #: ``pt_kb`` and ``probe_mode`` axes are meaningful.
-PREDICTOR_SCHEMES = frozenset({"cbf", "redhip", "levelpred", "ehc"})
+PREDICTOR_SCHEMES = frozenset({"cbf", "redhip", "levelpred", "ehc",
+                               "redhip_noov", "redhip_xor", "cbf_counting"})
 
 #: Schemes with a periodic recalibration sweep — the only ones for which
 #: the ``recal_multiple`` axis is meaningful (CBF never recalibrates).
-RECAL_SCHEMES = frozenset({"redhip", "levelpred", "ehc"})
+RECAL_SCHEMES = frozenset({"redhip", "levelpred", "ehc", "redhip_noov",
+                           "redhip_xor"})
 
 _PROBE_MODES = ("parallel", "phased", "waypred")
+
+_REPLACEMENTS = ("lru", "random", "plru")
 
 
 def known_workloads() -> tuple:
@@ -101,6 +113,17 @@ class CellSpec:
         lower levels — composing ReDHiP with the energy alternatives it is
         compared against.  Non-predictor schemes carry their probe
         discipline in the scheme itself (``phased``/``waypred`` rows).
+    ``replacement``
+        cache replacement policy for the content walk (``None`` = the
+        ``lru`` default; ``random``/``plru`` are the replacement
+        ablation's trajectories).  Non-default values extend the
+        fingerprint identity; ``None`` leaves it byte-identical to the
+        pre-axis encoding.
+    ``fill_weight``
+        fraction of a level's data-access energy charged per line fill
+        (``None`` = the paper's probe-dominated 0.0; the fill-accounting
+        ablation sweeps it).  Same identity-extension rule as
+        ``replacement``.
     """
 
     machine: str
@@ -112,6 +135,8 @@ class CellSpec:
     pt_kb: "float | None" = None
     recal_multiple: "float | None" = 1.0
     probe_mode: "str | None" = "parallel"
+    replacement: "str | None" = None
+    fill_weight: "float | None" = None
 
     def __post_init__(self) -> None:
         if self.machine not in MACHINES:
@@ -139,6 +164,13 @@ class CellSpec:
             self.recal_multiple > 0
         ):  # accepts inf, rejects 0/negative/nan
             raise ConfigError("recal_multiple must be positive (or inf)")
+        if self.replacement is not None and self.replacement not in _REPLACEMENTS:
+            raise ConfigError(
+                f"unknown replacement {self.replacement!r}; "
+                f"valid: {_REPLACEMENTS}"
+            )
+        if self.fill_weight is not None and not (0.0 <= self.fill_weight <= 1.0):
+            raise ConfigError("fill_weight must be in [0, 1]")
 
     # ------------------------------------------------------- canonical id
     def canonical(self) -> "CellSpec":
@@ -149,16 +181,33 @@ class CellSpec:
                 changes["pt_kb"] = None
             if self.probe_mode is not None:
                 changes["probe_mode"] = None
+        elif not InclusionPolicy.parse(self.policy).llc_is_superset:
+            # Exclusive ReDHiP runs the per-level table stack in the
+            # integrated simulator: no shared table to size or probe-mode.
+            if self.pt_kb is not None:
+                changes["pt_kb"] = None
+            if self.probe_mode is not None:
+                changes["probe_mode"] = None
         elif self.probe_mode is None:
             changes["probe_mode"] = "parallel"
         if self.scheme not in RECAL_SCHEMES and self.recal_multiple is not None:
             changes["recal_multiple"] = None
+        if self.replacement == "lru":
+            changes["replacement"] = None
+        if self.fill_weight == 0.0:
+            changes["fill_weight"] = None
         return replace(self, **changes) if changes else self
 
     def identity(self) -> dict:
-        """The canonical JSON-able identity the fingerprint digests."""
+        """The canonical JSON-able identity the fingerprint digests.
+
+        The ``replacement``/``fill_weight`` axes appear only when set to a
+        non-default value: a cell that never touches them digests exactly
+        the bytes it did before the axes existed, so every pre-existing
+        store row and pinned fingerprint stays valid.
+        """
         cell = self.canonical()
-        return {
+        doc = {
             "schema": STORE_SCHEMA,
             "machine": cell.machine,
             "workload": cell.workload,
@@ -170,6 +219,11 @@ class CellSpec:
             "recal_multiple": _json_number(cell.recal_multiple),
             "probe_mode": cell.probe_mode,
         }
+        if cell.replacement is not None:
+            doc["replacement"] = cell.replacement
+        if cell.fill_weight is not None:
+            doc["fill_weight"] = _json_number(cell.fill_weight)
+        return doc
 
     def fingerprint(self) -> str:
         """Content address of this cell: identical on every host and in
@@ -181,11 +235,15 @@ class CellSpec:
     def sim_config(self, stream_cache: "str | None" = None,
                    faults: "str | None" = None) -> SimConfig:
         """The content-trajectory config this cell pins."""
+        cell = self.canonical()
         return SimConfig(
-            machine=get_machine(self.machine),
-            policy=self.policy,
-            refs_per_core=self.refs_per_core,
-            seed=self.seed,
+            machine=get_machine(cell.machine),
+            policy=cell.policy,
+            refs_per_core=cell.refs_per_core,
+            seed=cell.seed,
+            replacement=cell.replacement or "lru",
+            fill_energy_weight=(
+                cell.fill_weight if cell.fill_weight is not None else 0.0),
             stream_cache=stream_cache,
             faults=faults,
         )
@@ -201,6 +259,10 @@ class CellSpec:
             parts.append(f"recal{cell.recal_multiple:g}")
         if cell.probe_mode not in (None, "parallel"):
             parts.append(cell.probe_mode)
+        if cell.replacement is not None:
+            parts.append(cell.replacement)
+        if cell.fill_weight is not None:
+            parts.append(f"fill{cell.fill_weight:g}")
         return "-".join(parts)
 
 
@@ -212,6 +274,21 @@ def _json_number(value):
     if isinstance(value, float) and value.is_integer():
         return int(value)
     return value
+
+
+def cell_recal_period(cell: "CellSpec", machine) -> "int | None":
+    """The absolute recalibration period a cell's multiple pins.
+
+    ``None`` means "never recalibrate" (an ``inf`` multiple, or no
+    multiple at all) — the same convention the scheme constructors use.
+    Shared between :func:`build_scheme` and the scheduler's exclusive-
+    ReDHiP dispatch so both paths derive identical periods.
+    """
+    if cell.recal_multiple is None or not math.isfinite(cell.recal_multiple):
+        return None
+    from repro.sim.config import default_recal_period
+
+    return max(1, round(cell.recal_multiple * default_recal_period(machine)))
 
 
 def build_scheme(cell: CellSpec, machine):
@@ -245,16 +322,23 @@ def build_scheme(cell: CellSpec, machine):
     table_bytes = int(cell.pt_kb * 1024) if cell.pt_kb is not None else None
     if cell.scheme == "cbf":
         spec = cbf_scheme(budget_bytes=table_bytes)
+    elif cell.scheme == "cbf_counting":
+        # Entry-width ablation competitor: equal-area CBF with 4-bit
+        # counters and the same bits-hash ReDHiP uses.
+        spec = cbf_scheme(budget_bytes=table_bytes, counter_bits=4,
+                          hash_kind="bits")
     else:
-        period = None
-        if cell.recal_multiple is not None and math.isfinite(cell.recal_multiple):
-            from repro.sim.config import default_recal_period
-
-            period = max(1, round(cell.recal_multiple * default_recal_period(machine)))
+        period = cell_recal_period(cell, machine)
         if cell.scheme == "levelpred":
             spec = levelpred_scheme(table_bytes=table_bytes, recal_period=period)
         elif cell.scheme == "ehc":
             spec = ehc_scheme(budget_bytes=table_bytes, recal_period=period)
+        elif cell.scheme == "redhip_noov":
+            spec = redhip_scheme(table_bytes=table_bytes, recal_period=period,
+                                 name="ReDHiP-NoOv", lookup_delay=0)
+        elif cell.scheme == "redhip_xor":
+            spec = redhip_scheme(table_bytes=table_bytes, recal_period=period,
+                                 hash_kind="xor", name="ReDHiP-xor")
         else:
             spec = redhip_scheme(table_bytes=table_bytes, recal_period=period)
     if cell.probe_mode == "phased":

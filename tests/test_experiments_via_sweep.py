@@ -1,0 +1,134 @@
+"""Experiments-as-sweeps: the grid path is the build path, resumably.
+
+The one-execution-substrate contract (DESIGN.md): a spec that declares
+``cells``/``render`` runs through the sweep scheduler + results store and
+must produce the *same bytes* the imperative ``build`` produces.  The
+registry-wide byte pin lives in ``test_golden_artifacts``; this module
+tests the substrate's own properties — routing, build/grid equivalence on
+a live config, resume from a kept store, and the grid-native studies'
+refusal to run off-grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as spec_replace
+
+import pytest
+
+from repro.energy.params import get_machine
+from repro.experiments import SPECS, clear_cache, run_spec
+from repro.experiments.driver import ExperimentContext, griddable
+from repro.sim.config import SimConfig
+from repro.sweep import run_cells
+from repro.util.validation import ConfigError
+
+#: Every spec converted to the cells/render protocol.
+CONVERTED = (
+    "fig6", "fig7", "fig8", "fig9", "fig10", "fig10-delta",
+    "fig11", "fig12", "fig13", "ext-relwork",
+    "ablation-hash", "ablation-entry-width",
+    "ablation-replacement", "ablation-fill-accounting",
+    "study-recal", "study-pt",
+)
+
+
+def smoke_config(**overrides):
+    return SimConfig(machine=get_machine("tiny"), refs_per_core=1500,
+                     seed=7, **overrides)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _drop_shared_runner():
+    yield
+    clear_cache()
+
+
+def test_converted_specs_declare_the_grid_protocol():
+    for eid in CONVERTED:
+        spec = SPECS[eid]
+        assert spec.cells is not None and spec.render is not None, eid
+        cells = spec.cells(smoke_config(), **dict(spec.smoke_kwargs))
+        assert cells, eid
+        # Cells are canonical: re-canonicalizing is a no-op.
+        assert all(c == c.canonical() for c in cells), eid
+
+
+def test_griddable_is_the_routing_predicate():
+    assert griddable(smoke_config())
+    assert not griddable(smoke_config(memory_latency=120.0))
+    assert not griddable(smoke_config(coherent=True))
+    assert not griddable(smoke_config(checked=True))
+    deep = replace_machine_name(smoke_config())
+    assert not griddable(deep)
+
+
+def replace_machine_name(cfg):
+    """A config whose machine is not the registry object (deep_machine,
+    with_cores, ... all produce these)."""
+    from dataclasses import replace
+
+    machine = replace(cfg.machine, name="not-in-registry")
+    return replace(cfg, machine=machine)
+
+
+def test_grid_path_never_calls_build_when_griddable():
+    def boom(ctx, **kwargs):
+        raise AssertionError("build called on a griddable config")
+
+    spec = spec_replace(SPECS["fig8"], build=boom)
+    result = run_spec(spec, smoke_config(), smoke=True)
+    assert result.experiment_id == "fig8"
+
+
+def test_non_griddable_config_falls_back_to_build(monkeypatch):
+    from repro.experiments import driver
+
+    def boom(*a, **k):
+        raise AssertionError("grid path taken for a non-griddable config")
+
+    monkeypatch.setattr(driver, "_run_grid", boom)
+    cfg = smoke_config(memory_latency=120.0, memory_energy_nj=8.0, mlp=4.0)
+    result = run_spec(SPECS["fig8"], cfg, smoke=True)
+    assert result.experiment_id == "fig8"
+
+
+def test_grid_and_build_produce_identical_artifacts():
+    cfg = smoke_config()
+    for eid in ("fig6", "fig13", "ablation-replacement"):
+        spec = SPECS[eid]
+        via_grid = run_spec(spec, cfg, smoke=True)
+        via_build = spec.build(ExperimentContext(spec, cfg),
+                               **dict(spec.smoke_kwargs))
+        assert via_grid.series == via_build.series, eid
+        assert via_grid.table == via_build.table, eid
+        assert via_grid.notes == via_build.notes, eid
+
+
+def test_killed_figure_resumes_from_a_kept_store(tmp_path):
+    """`repro run fig6 --store S` interrupted mid-grid resumes from S."""
+    cfg = smoke_config()
+    spec = SPECS["fig6"]
+    cells = spec.cells(cfg, **dict(spec.smoke_kwargs))
+    store = tmp_path / "fig6.sqlite"
+
+    # "Kill" the figure after 3 cells: a bounded partial run.
+    partial = run_cells(cells, "fig6", store, workers=1, max_cells=3)
+    assert partial.completed == 3 and partial.resumed == 0
+
+    # The driver, pointed at the same store, finishes the remainder.
+    resumed = run_spec(spec, cfg, smoke=True, store=store)
+    fresh = run_spec(spec, cfg, smoke=True)
+    assert resumed.table == fresh.table
+    assert resumed.series == fresh.series
+
+    # Everything is now in the store: a third pass resumes every cell.
+    again = run_cells(cells, "fig6", store, workers=1)
+    assert again.completed == 0
+    assert again.resumed == len({c.fingerprint() for c in cells})
+
+
+def test_grid_native_studies_refuse_off_grid_configs():
+    cfg = smoke_config(memory_latency=120.0)
+    for eid in ("study-recal", "study-pt"):
+        with pytest.raises(ConfigError, match="grid-native"):
+            run_spec(SPECS[eid], cfg, smoke=True)

@@ -1,6 +1,6 @@
 """Byte-identity of every registered experiment artifact.
 
-``tests/golden/artifacts/`` holds the rendered markdown for all 28
+``tests/golden/artifacts/`` holds the rendered markdown for all 32
 registry specs at the smoke configuration (tiny machine, 1500 refs/core,
 seed 7) — the same config CI's ``repro experiments smoke`` uses.  Any
 refactor of the charging kernel, the simulators, or the experiment

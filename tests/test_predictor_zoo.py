@@ -218,7 +218,8 @@ def test_levelpred_rejects_phantom_evictions(tiny_machine):
 def test_sweep_schemes_include_zoo():
     assert {"levelpred", "ehc"} <= set(SWEEP_SCHEMES)
     assert {"levelpred", "ehc"} <= PREDICTOR_SCHEMES
-    assert RECAL_SCHEMES == {"redhip", "levelpred", "ehc"}
+    assert RECAL_SCHEMES == {"redhip", "levelpred", "ehc",
+                             "redhip_noov", "redhip_xor"}
     assert RECAL_SCHEMES <= PREDICTOR_SCHEMES <= set(SWEEP_SCHEMES)
 
 

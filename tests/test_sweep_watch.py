@@ -166,6 +166,27 @@ def test_bench_trend_survives_a_corrupt_artifact(tmp_path):
     assert render_trend([]) == "no BENCH_*.json artifacts found"
 
 
+def test_bench_trend_warns_and_keeps_going_on_hostile_files(tmp_path):
+    """Malformed or schema-less artifacts become warned-about error rows —
+    `repro report` over a directory with one bad file must not raise."""
+    import warnings
+
+    (tmp_path / "BENCH_good.json").write_text(
+        '{"benchmark": "x", "replay_speedup": 2.5}')
+    (tmp_path / "BENCH_binary.json").write_bytes(b"\xff\xfe\x00bad")
+    (tmp_path / "BENCH_list.json").write_text('[1, 2, 3]')
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        rows = collect_bench(tmp_path)
+    # Name-sorted: binary (error), good, list (error).
+    assert [bool(r["error"]) for r in rows] == [True, False, True]
+    assert "expected a JSON object" in rows[2]["error"]
+    assert any(issubclass(w.category, RuntimeWarning)
+               and "BENCH_binary.json" in str(w.message) for w in caught)
+    table = render_trend(rows)
+    assert "BENCH_good.json" in table and "2.5" in table
+
+
 # -------------------------------------------------------------------- CLI
 def test_cli_watch_once_and_report(tmp_path, capsys):
     from repro.cli import main
